@@ -1,0 +1,364 @@
+(** adcheck — ISO 26262 software-guideline assessment toolkit.
+
+    Subcommands mirror the workflow of the paper:
+    - [audit]      full assessment of the Apollo-profile corpus
+    - [complexity] Figure 3 per-module complexity analysis
+    - [misra]      MISRA C:2012-subset + CUDA rule checking
+    - [coverage]   Figure 5/6 coverage experiments
+    - [gpuperf]    Figure 7/8 open- vs closed-source library comparison
+    - [corpus]     write the generated corpus to disk
+    - [check]      analyze C/C++/CUDA files from disk *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  let doc = "Generator seed; every figure is deterministic in the seed." in
+  Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "Corpus scale: $(b,full) (228k LOC, as the paper) or $(b,small) (~18k LOC, fast)." in
+  Arg.(value & opt (enum [ ("full", `Full); ("small", `Small) ]) `Full
+       & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let specs_of = function
+  | `Full -> Corpus.Apollo_profile.full
+  | `Small -> Corpus.Apollo_profile.small
+
+let gpu_ratios () =
+  let d = Gpuperf.Device.titan_v in
+  List.map (fun (l, r) -> (l, r)) (Gpuperf.Suites.gemm_comparison ~device:d)
+  @ List.map (fun (l, _, r) -> (l, r)) (Gpuperf.Suites.conv_comparison ~device:d)
+
+(* ------------------------------------------------------------------ *)
+(* audit                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let run seed scale =
+    let audit =
+      Iso26262.Audit.run ~seed ~specs:(specs_of scale)
+        ~open_vs_closed:(gpu_ratios ()) ()
+    in
+    print_string (Iso26262.Audit.render audit)
+  in
+  let doc = "Run the complete ISO 26262 Part 6 assessment (Tables 1-3, Figures 3-6, Observations)." in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ seed_arg $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+(* complexity                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let format_arg =
+  let doc = "Output format: $(b,text), $(b,md) (GitHub markdown) or $(b,csv)." in
+  Arg.(value
+       & opt (enum [ ("text", Util.Table.Text); ("md", Util.Table.Markdown);
+                     ("csv", Util.Table.Csv) ])
+           Util.Table.Text
+       & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let complexity_cmd =
+  let run seed scale format =
+    let project = Corpus.Generator.generate ~seed (specs_of scale) in
+    let parsed = Cfront.Project.parse project in
+    let metrics = Iso26262.Project_metrics.of_parsed parsed in
+    let tbl =
+      List.fold_left
+        (fun tbl (mm : Iso26262.Project_metrics.module_metrics) ->
+          let c = mm.Iso26262.Project_metrics.complexity in
+          Util.Table.add_row tbl
+            [ mm.Iso26262.Project_metrics.modname;
+              string_of_int c.Metrics.Complexity.loc;
+              string_of_int c.Metrics.Complexity.n_functions;
+              string_of_int c.Metrics.Complexity.over_10;
+              string_of_int c.Metrics.Complexity.over_20;
+              string_of_int c.Metrics.Complexity.over_50;
+              string_of_int c.Metrics.Complexity.cc_max ])
+        (Util.Table.make ~title:"Figure 3: complexity per module"
+           ~header:[ "module"; "LOC"; "functions"; "CC>10"; "CC>20"; "CC>50"; "CC max" ]
+           ~aligns:[ Util.Table.Left; Util.Table.Right; Util.Table.Right;
+                     Util.Table.Right; Util.Table.Right; Util.Table.Right;
+                     Util.Table.Right ]
+           ())
+        metrics.Iso26262.Project_metrics.modules
+    in
+    print_string (Util.Table.render_as format tbl)
+  in
+  let doc = "Per-module cyclomatic complexity, LOC and function counts (Figure 3)." in
+  Cmd.v (Cmd.info "complexity" ~doc) Term.(const run $ seed_arg $ scale_arg $ format_arg)
+
+(* ------------------------------------------------------------------ *)
+(* misra                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let misra_cmd =
+  let rule_arg =
+    let doc = "Show individual violations of $(docv) (e.g. 15.1, CUDA-2)." in
+    Arg.(value & opt (some string) None & info [ "rule" ] ~docv:"RULE" ~doc)
+  in
+  let limit_arg =
+    let doc = "Maximum violations to list with --rule." in
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let run seed scale rule limit =
+    let project = Corpus.Generator.generate ~seed (specs_of scale) in
+    let parsed = Cfront.Project.parse project in
+    let report = Misra.Registry.run_project parsed in
+    match rule with
+    | None ->
+      print_string (Misra.Registry.render_summary report);
+      Printf.printf "rule compliance: %.0f%% (%d of %d rules clean)\n"
+        (100.0 *. Misra.Registry.rule_compliance report)
+        (report.Misra.Registry.rules_checked - report.Misra.Registry.rules_violated)
+        report.Misra.Registry.rules_checked
+    | Some id -> (
+        match
+          List.find_opt
+            (fun ((r : Misra.Rule.t), _) -> r.Misra.Rule.id = id)
+            report.Misra.Registry.per_rule
+        with
+        | None -> Printf.eprintf "unknown rule %s\n" id
+        | Some (r, vs) ->
+          Printf.printf "%s (%s, %s): %d violations\n" r.Misra.Rule.id
+            r.Misra.Rule.title
+            (Misra.Rule.category_name r.Misra.Rule.category)
+            (List.length vs);
+          List.iteri
+            (fun i (v : Misra.Rule.violation) ->
+              if i < limit then
+                Printf.printf "  %s: %s\n"
+                  (Cfront.Loc.to_string v.Misra.Rule.loc)
+                  v.Misra.Rule.message)
+            vs)
+  in
+  let doc = "Check the corpus against the MISRA C:2012 subset and the CUDA extension rules." in
+  Cmd.v (Cmd.info "misra" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ rule_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* coverage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let coverage_cmd =
+  let subject_arg =
+    let doc = "Coverage subject: $(b,yolo) (Figure 5) or $(b,stencil) (Figure 6)." in
+    Arg.(value & opt (enum [ ("yolo", `Yolo); ("stencil", `Stencil) ]) `Yolo
+         & info [ "subject" ] ~docv:"SUBJECT" ~doc)
+  in
+  let run subject =
+    let tus, measured, entry, title =
+      match subject with
+      | `Yolo ->
+        (Corpus.Yolo_src.parse_all (),
+         List.map fst Corpus.Yolo_src.measured_files,
+         Corpus.Yolo_src.entry,
+         "object detection (YOLO) coverage under real-scenario tests")
+      | `Stencil ->
+        (Corpus.Stencil_src.parse_all (),
+         List.map fst Corpus.Stencil_src.measured_files,
+         Corpus.Stencil_src.entry,
+         "CUDA stencils executed on the CPU (cuda4cpu)")
+    in
+    let result = Cudasim.Runner.run ~entry ~measured tus in
+    (match result.Cudasim.Runner.exit_value with
+     | Ok _ -> ()
+     | Error e -> Printf.eprintf "execution failed: %s\n" e);
+    print_string result.Cudasim.Runner.output;
+    print_string (Iso26262.Report.render_coverage ~title result.Cudasim.Runner.files)
+  in
+  let doc = "Run the dynamic coverage experiments (statement, branch, MC/DC)." in
+  Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ subject_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gpuperf                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gpuperf_cmd =
+  let experiment_arg =
+    let doc = "Which comparison: $(b,fig7), $(b,fig8a) or $(b,fig8b)." in
+    Arg.(value & opt (enum [ ("fig7", `F7); ("fig8a", `F8a); ("fig8b", `F8b) ]) `F7
+         & info [ "experiment" ] ~docv:"EXP" ~doc)
+  in
+  let gpu_arg =
+    let doc = "GPU model: $(b,titanv), $(b,1080ti) or $(b,px2)." in
+    Arg.(value
+         & opt (enum [ ("titanv", Gpuperf.Device.titan_v);
+                       ("1080ti", Gpuperf.Device.gtx_1080ti);
+                       ("px2", Gpuperf.Device.drive_px2_gpu) ])
+             Gpuperf.Device.titan_v
+         & info [ "gpu" ] ~docv:"GPU" ~doc)
+  in
+  let run experiment gpu =
+    match experiment with
+    | `F7 ->
+      List.iter
+        (fun (r : Gpuperf.Yolo_bench.row) ->
+          Printf.printf "%-10s %-7s %10.2f ms %8.1f fps %8.2fx  (%s)\n"
+            r.Gpuperf.Yolo_bench.impl
+            (if r.Gpuperf.Yolo_bench.closed_source then "closed" else "open")
+            r.Gpuperf.Yolo_bench.total_ms r.Gpuperf.Yolo_bench.fps
+            r.Gpuperf.Yolo_bench.vs_baseline r.Gpuperf.Yolo_bench.device_name)
+        (Gpuperf.Yolo_bench.run ~gpu ~cpu:Gpuperf.Device.xeon_e5 ())
+    | `F8a ->
+      List.iter
+        (fun (label, ratio) -> Printf.printf "%-40s %.2f\n" label ratio)
+        (Gpuperf.Suites.gemm_comparison ~device:gpu)
+    | `F8b ->
+      List.iter
+        (fun (label, domain, ratio) ->
+          Printf.printf "%-24s %-14s %.2f\n" label domain ratio)
+        (Gpuperf.Suites.conv_comparison ~device:gpu)
+  in
+  let doc = "Open- vs closed-source GPU library performance model (Figures 7, 8a, 8b)." in
+  Cmd.v (Cmd.info "gpuperf" ~doc) Term.(const run $ experiment_arg $ gpu_arg)
+
+(* ------------------------------------------------------------------ *)
+(* corpus                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let out_arg =
+    let doc = "Directory to write the generated sources into." in
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+  in
+  let run seed scale out =
+    let project = Corpus.Generator.generate ~seed (specs_of scale) in
+    let files = Cfront.Project.all_files project in
+    List.iter
+      (fun (f : Cfront.Project.source_file) ->
+        let path = Filename.concat out f.Cfront.Project.path in
+        let rec mkdirs d =
+          if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+            mkdirs (Filename.dirname d);
+            Sys.mkdir d 0o755
+          end
+        in
+        mkdirs (Filename.dirname path);
+        let oc = open_out path in
+        output_string oc f.Cfront.Project.content;
+        close_out oc)
+      files;
+    Printf.printf "wrote %d files under %s\n" (List.length files) out
+  in
+  let doc = "Write the generated Apollo-profile corpus to disk for inspection or external tools." in
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const run $ seed_arg $ scale_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check: analyze user-provided files                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let files_arg =
+    let doc = "C/C++/CUDA source files to analyze." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let run paths =
+    let read path =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let sources =
+      List.map
+        (fun path ->
+          { Cfront.Project.path; modname = "user"; header = false;
+            content = read path })
+        paths
+    in
+    let project =
+      Cfront.Project.make ~name:"user"
+        [ { Cfront.Project.m_name = "user"; m_files = sources } ]
+    in
+    let parsed = Cfront.Project.parse project in
+    List.iter
+      (fun (pf : Cfront.Project.parsed_file) ->
+        let tu = pf.Cfront.Project.tu in
+        Printf.printf "== %s\n" tu.Cfront.Ast.tu_file;
+        List.iter (fun d -> Printf.printf "  parse: %s\n" d) tu.Cfront.Ast.diags;
+        List.iter
+          (fun (c : Metrics.Complexity.func_cc) ->
+            Printf.printf "  CC %3d  %s\n" c.Metrics.Complexity.cc
+              (Cfront.Ast.qualified_name c.Metrics.Complexity.fn))
+          (Metrics.Complexity.of_functions (Cfront.Ast.functions_of_tu tu)))
+      parsed.Cfront.Project.files;
+    let report = Misra.Registry.run_project parsed in
+    print_string (Misra.Registry.render_summary report)
+  in
+  let doc = "Parse C/C++/CUDA files from disk and report complexity plus MISRA-subset violations." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ files_arg)
+
+(* ------------------------------------------------------------------ *)
+(* wcet                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let wcet_cmd =
+  let run seed scale =
+    let project = Corpus.Generator.generate ~seed (specs_of scale) in
+    let parsed = Cfront.Project.parse project in
+    List.iter
+      (fun modname ->
+        let pfs = Cfront.Project.parsed_files_of_module parsed modname in
+        let s =
+          Metrics.Wcet.summarize
+            (Metrics.Wcet.of_functions (Cfront.Project.defined_functions pfs))
+        in
+        Printf.printf "%-14s %4d functions: %4d analyzable, %4d parametric, %3d unanalyzable\n"
+          modname s.Metrics.Wcet.total s.Metrics.Wcet.analyzable
+          s.Metrics.Wcet.parametric s.Metrics.Wcet.unanalyzable)
+      (Cfront.Project.module_names project)
+  in
+  let doc = "Classify functions by static WCET analyzability (constant/parametric/unbounded loops)." in
+  Cmd.v (Cmd.info "wcet" ~doc) Term.(const run $ seed_arg $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+(* brook                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let brook_cmd =
+  let run seed scale =
+    let project = Corpus.Generator.generate ~seed (specs_of scale) in
+    let parsed = Cfront.Project.parse project in
+    let reports = Cudasim.Brook_auto.of_files parsed.Cfront.Project.files in
+    List.iter
+      (fun (r : Cudasim.Brook_auto.report) ->
+        Printf.printf "%-55s %s\n" r.Cudasim.Brook_auto.kernel
+          (Cudasim.Brook_auto.classification_name r.Cudasim.Brook_auto.classification))
+      reports;
+    let s = Cudasim.Brook_auto.summarize reports in
+    Printf.printf "\n%d kernels: %d pure stream, %d need gather, %d not portable\n"
+      s.Cudasim.Brook_auto.total s.Cudasim.Brook_auto.pure_stream
+      s.Cudasim.Brook_auto.needs_gather s.Cudasim.Brook_auto.not_portable
+  in
+  let doc = "Check CUDA kernels for Brook Auto (certifiable stream subset) portability." in
+  Cmd.v (Cmd.info "brook" ~doc) Term.(const run $ seed_arg $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+(* faults                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let run () =
+    List.iter
+      (fun (o : Corpus.Fault_src.outcome) ->
+        Printf.printf "%-26s %-7s %s\n"
+          o.Corpus.Fault_src.scenario.Corpus.Fault_src.sc_name
+          (if o.Corpus.Fault_src.faulted then "FAULT" else "ok")
+          o.Corpus.Fault_src.detail)
+      (Corpus.Fault_src.run_all ())
+  in
+  let doc = "Run the fault-injection scenarios (invalid inputs against the YOLO entry points)." in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "ISO 26262 software-guideline assessment for AD software (DAC 2019 reproduction)" in
+  let info = Cmd.info "adcheck" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ audit_cmd; complexity_cmd; misra_cmd; coverage_cmd; gpuperf_cmd;
+            corpus_cmd; check_cmd; wcet_cmd; brook_cmd; faults_cmd ]))

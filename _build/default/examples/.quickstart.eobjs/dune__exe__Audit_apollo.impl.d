@@ -1,0 +1,1 @@
+examples/audit_apollo.ml: Array Corpus Gpuperf Iso26262 List Printf Sys

@@ -1,0 +1,1 @@
+examples/certify_module.ml: Cfront Corpus Iso26262 List Misra Printf

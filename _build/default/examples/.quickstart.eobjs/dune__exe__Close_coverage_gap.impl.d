@@ -1,0 +1,1 @@
+examples/close_coverage_gap.ml: Cfront Corpus Coverage List Printf

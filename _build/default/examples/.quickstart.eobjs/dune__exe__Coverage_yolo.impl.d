@@ -1,0 +1,1 @@
+examples/coverage_yolo.ml: Cfront Corpus Coverage Cudasim Iso26262 List Printf

@@ -1,0 +1,1 @@
+examples/gpu_library_tradeoff.ml: Dnn Gpuperf List Printf Util

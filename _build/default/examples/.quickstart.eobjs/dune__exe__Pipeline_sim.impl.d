@@ -1,0 +1,1 @@
+examples/pipeline_sim.ml: Cfront Corpus Coverage Cudasim Iso26262 List Metrics Misra Printf

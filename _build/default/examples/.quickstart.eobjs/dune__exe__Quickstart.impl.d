@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cfront Coverage List Metrics Misra Printf

@@ -1,0 +1,37 @@
+(** The paper's whole pipeline in one program: generate the Apollo-profile
+    corpus, assess every ISO 26262-6 guideline table, run the coverage
+    experiments, and print the fourteen observations.
+
+    Uses the reduced-scale corpus so it finishes in about a second; pass
+    [--full] for the paper-scale 228k LOC corpus.
+
+    Run with: [dune exec examples/audit_apollo.exe] *)
+
+let () =
+  let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  let specs =
+    if full then Corpus.Apollo_profile.full else Corpus.Apollo_profile.small
+  in
+  let device = Gpuperf.Device.titan_v in
+  let ratios =
+    List.map (fun (l, r) -> (l, r)) (Gpuperf.Suites.gemm_comparison ~device)
+    @ List.map (fun (l, _, r) -> (l, r)) (Gpuperf.Suites.conv_comparison ~device)
+  in
+  let audit = Iso26262.Audit.run ~specs ~open_vs_closed:ratios () in
+  print_string (Iso26262.Audit.render audit);
+  (* Downstream-user summary: what blocks an ASIL-D certification? *)
+  let blockers =
+    List.filter
+      (fun (f : Iso26262.Assess.finding) ->
+        f.Iso26262.Assess.verdict <> Iso26262.Assess.Pass
+        && f.Iso26262.Assess.verdict <> Iso26262.Assess.Not_applicable
+        && Iso26262.Asil.binding f.Iso26262.Assess.topic.Iso26262.Guidelines.recs
+             Iso26262.Asil.D)
+      (Iso26262.Audit.all_findings audit)
+  in
+  Printf.printf "\nASIL-D blockers (%d):\n" (List.length blockers);
+  List.iter
+    (fun (f : Iso26262.Assess.finding) ->
+      Printf.printf "  - %s: %s\n" f.Iso26262.Assess.topic.Iso26262.Guidelines.title
+        f.Iso26262.Assess.evidence)
+    blockers

@@ -1,0 +1,1 @@
+lib/cfront/callgraph.ml: Ast Hashtbl List Map Option Stdlib String

@@ -1,0 +1,1 @@
+lib/cfront/callgraph.mli: Ast Map

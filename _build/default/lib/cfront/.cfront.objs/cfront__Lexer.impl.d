@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Buffer Hashtbl Int64 List Loc Printf String Token Util

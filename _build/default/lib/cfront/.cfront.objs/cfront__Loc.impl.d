@@ -1,0 +1,1 @@
+lib/cfront/loc.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Array Ast Buffer Hashtbl Int64 Lexer List Loc Preproc Printf Stdlib String Token

@@ -1,0 +1,1 @@
+lib/cfront/preproc.ml: Buffer Hashtbl Lexer List Printf String Token Util

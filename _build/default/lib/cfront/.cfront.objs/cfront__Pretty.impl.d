@@ -1,0 +1,1 @@
+lib/cfront/pretty.ml: Ast Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/cfront/project.ml: Ast Lexer List Parser Token

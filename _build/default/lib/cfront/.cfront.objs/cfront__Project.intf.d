@@ -1,0 +1,1 @@
+lib/cfront/project.mli: Ast

@@ -1,0 +1,137 @@
+(** Call graph construction and recursion detection.
+
+    Call targets are resolved best-effort by name: an unqualified callee
+    name matches a function with that simple name, preferring one in the
+    same scope.  This matches what a linkerless source-level tool (the kind
+    the paper used) can see. *)
+
+module SM = Map.Make (String)
+
+type t = {
+  nodes : string list;  (** qualified function names with a definition *)
+  edges : (string * string) list;  (** caller -> callee, both qualified *)
+  calls_of : string list SM.t;
+  callers_of : string list SM.t;
+}
+
+let calls_in_body (fn : Ast.func) =
+  let acc = ref [] in
+  Ast.iter_exprs_of_func
+    (fun e ->
+      match e.Ast.e with
+      | Ast.Call ({ e = Ast.Id name; _ }, _) -> acc := name :: !acc
+      | Ast.Kernel_launch { kernel = { e = Ast.Id name; _ }; _ } -> acc := name :: !acc
+      | Ast.Call ({ e = Ast.Member { field; _ }; _ }, _) -> acc := field :: !acc
+      | _ -> ())
+    fn;
+  List.rev !acc
+
+let build (funcs : Ast.func list) =
+  let defined = List.filter (fun f -> f.Ast.f_body <> None) funcs in
+  let by_simple =
+    List.fold_left
+      (fun m f ->
+        let q = Ast.qualified_name f in
+        SM.update f.Ast.f_name (function None -> Some [ q ] | Some l -> Some (q :: l)) m)
+      SM.empty defined
+  in
+  let by_qualified =
+    List.fold_left (fun m f -> SM.add (Ast.qualified_name f) f m) SM.empty defined
+  in
+  let resolve ~caller_scope name =
+    if SM.mem name by_qualified then Some name
+    else
+      let simple =
+        match List.rev (String.split_on_char ':' name) with
+        | last :: _ when last <> "" -> last
+        | _ -> name
+      in
+      match SM.find_opt simple by_simple with
+      | None -> None
+      | Some [ q ] -> Some q
+      | Some candidates ->
+        (* prefer a candidate sharing the caller's scope prefix *)
+        let scoped = String.concat "::" (caller_scope @ [ simple ]) in
+        if List.mem scoped candidates then Some scoped
+        else Some (List.nth candidates (List.length candidates - 1))
+  in
+  let edges =
+    List.concat_map
+      (fun f ->
+        let caller = Ast.qualified_name f in
+        List.filter_map
+          (fun callee ->
+            match resolve ~caller_scope:f.Ast.f_scope callee with
+            | Some q -> Some (caller, q)
+            | None -> None)
+          (calls_in_body f))
+      defined
+  in
+  let add_edge m (a, b) =
+    SM.update a (function None -> Some [ b ] | Some l -> Some (b :: l)) m
+  in
+  let calls_of = List.fold_left add_edge SM.empty edges in
+  let callers_of = List.fold_left (fun m (a, b) -> add_edge m (b, a)) SM.empty edges in
+  {
+    nodes = List.map Ast.qualified_name defined;
+    edges;
+    calls_of;
+    callers_of;
+  }
+
+let callees t name = Option.value ~default:[] (SM.find_opt name t.calls_of)
+let callers t name = Option.value ~default:[] (SM.find_opt name t.callers_of)
+
+(** Fan-out (distinct callees) and fan-in (distinct callers). *)
+let fan_out t name = List.length (List.sort_uniq compare (callees t name))
+let fan_in t name = List.length (List.sort_uniq compare (callers t name))
+
+(** Tarjan's strongly-connected components; components of size > 1 (or a
+    self-loop) indicate recursion. *)
+let sccs t =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (Stdlib.min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (Stdlib.min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (callees t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      result := pop [] :: !result
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) t.nodes;
+  !result
+
+(** Functions involved in recursion: members of a multi-node SCC, or
+    direct self-callers. *)
+let recursive_functions t =
+  let multi =
+    List.concat (List.filter (fun comp -> List.length comp > 1) (sccs t))
+  in
+  let selfloop = List.filter (fun v -> List.mem v (callees t v)) t.nodes in
+  List.sort_uniq compare (multi @ selfloop)

@@ -1,0 +1,36 @@
+(** Call-graph construction and recursion detection.
+
+    Call targets are resolved best-effort by name: an unqualified callee
+    matches a function with that simple name, preferring one in the
+    caller's scope — what a linkerless source-level tool can see. *)
+
+module SM : Map.S with type key = string
+
+type t = {
+  nodes : string list;  (** qualified names of defined functions *)
+  edges : (string * string) list;  (** caller -> callee, both qualified *)
+  calls_of : string list SM.t;
+  callers_of : string list SM.t;
+}
+
+(** Raw callee names (unresolved) mentioned in a function body, including
+    kernel launches and method-style calls. *)
+val calls_in_body : Ast.func -> string list
+
+val build : Ast.func list -> t
+
+(** Resolved callees/callers of a qualified name (with multiplicity). *)
+val callees : t -> string -> string list
+
+val callers : t -> string -> string list
+
+(** Distinct-callee / distinct-caller counts. *)
+val fan_out : t -> string -> int
+
+val fan_in : t -> string -> int
+
+(** Tarjan's strongly-connected components. *)
+val sccs : t -> string list list
+
+(** Members of multi-node SCCs plus direct self-callers, sorted. *)
+val recursive_functions : t -> string list

@@ -1,0 +1,238 @@
+(** Hand-rolled lexer for the C/C++/CUDA subset.
+
+    Comments are skipped but counted (the LOC metric needs comment lines);
+    preprocessor directives are expected to have been stripped by
+    {!Preproc} before lexing (a directive reaching the lexer raises).  The
+    lexer is total over the remaining character set: an unexpected
+    character becomes a [Punct] of itself so that token-level checkers can
+    still see it, with a diagnostic recorded. *)
+
+type result = {
+  tokens : Token.t list;
+  comment_lines : int;  (** number of source lines containing a comment *)
+  diagnostics : string list;
+}
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable comment_line_set : (int, unit) Hashtbl.t;
+  mutable diags : string list;
+}
+
+let make_state ~file src =
+  { src; file; pos = 0; line = 1; col = 1; comment_line_set = Hashtbl.create 64; diags = [] }
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+let peek2 st = if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+let peek3 st = if st.pos + 2 >= String.length st.src then '\000' else st.src.[st.pos + 2]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let here st = Loc.make ~file:st.file ~line:st.line ~col:st.col
+
+let mark_comment_line st = Hashtbl.replace st.comment_line_set st.line ()
+
+let skip_line_comment st =
+  mark_comment_line st;
+  while (not (eof st)) && peek st <> '\n' do
+    advance st
+  done
+
+let skip_block_comment st =
+  (* Consume the opening "/*" then scan to the matching "*"^"/". *)
+  advance st;
+  advance st;
+  mark_comment_line st;
+  let rec go () =
+    if eof st then st.diags <- "unterminated block comment" :: st.diags
+    else if peek st = '*' && peek2 st = '/' then begin
+      advance st;
+      advance st
+    end
+    else begin
+      mark_comment_line st;
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (not (eof st)) && Util.Strutil.is_ident_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let hex = peek st = '0' && (peek2 st = 'x' || peek2 st = 'X') in
+  if hex then begin
+    advance st;
+    advance st;
+    while (not (eof st)) && (Util.Strutil.is_alnum (peek st)) do advance st done
+  end
+  else begin
+    while (not (eof st)) && Util.Strutil.is_digit (peek st) do advance st done;
+    if peek st = '.' && Util.Strutil.is_digit (peek2 st) then begin
+      is_float := true;
+      advance st;
+      while (not (eof st)) && Util.Strutil.is_digit (peek st) do advance st done
+    end
+    else if peek st = '.' && not (Util.Strutil.is_ident_start (peek2 st)) then begin
+      is_float := true;
+      advance st
+    end;
+    if peek st = 'e' || peek st = 'E' then begin
+      is_float := true;
+      advance st;
+      if peek st = '+' || peek st = '-' then advance st;
+      while (not (eof st)) && Util.Strutil.is_digit (peek st) do advance st done
+    end;
+    (* literal suffixes *)
+    while peek st = 'f' || peek st = 'F' || peek st = 'l' || peek st = 'L'
+          || peek st = 'u' || peek st = 'U' do
+      if peek st = 'f' || peek st = 'F' then is_float := true;
+      advance st
+    done
+  end;
+  let raw = String.sub st.src start (st.pos - start) in
+  (* 'f'/'F' are hex digits, so only u/U/l/L may be stripped from a hex
+     literal's tail *)
+  let strip_suffix s =
+    let n = ref (String.length s) in
+    while
+      !n > 0
+      && (match s.[!n - 1] with
+          | 'l' | 'L' | 'u' | 'U' -> true
+          | 'f' | 'F' -> not hex
+          | _ -> false)
+    do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let body = strip_suffix raw in
+  if !is_float then Token.Float_lit ((try float_of_string body with _ -> 0.0), raw)
+  else
+    let v = try Int64.of_string body with _ -> (try Int64.of_float (float_of_string body) with _ -> 0L) in
+    Token.Int_lit (v, raw)
+
+let lex_escaped st =
+  (* After the backslash: translate the escape, defaulting to the raw char. *)
+  advance st;
+  let c = peek st in
+  advance st;
+  match c with
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> c
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then st.diags <- "unterminated string literal" :: st.diags
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' -> Buffer.add_char buf (lex_escaped st); go ()
+      | '\n' -> st.diags <- "newline in string literal" :: st.diags; advance st
+      | c -> Buffer.add_char buf c; advance st; go ()
+  in
+  go ();
+  Token.String_lit (Buffer.contents buf)
+
+let lex_char st =
+  advance st;
+  let c = if peek st = '\\' then lex_escaped st else (let c = peek st in advance st; c) in
+  if peek st = '\'' then advance st
+  else st.diags <- "unterminated char literal" :: st.diags;
+  Token.Char_lit c
+
+(* Multi-character punctuators, longest first within each head character.
+   "<<<" / ">>>" are CUDA kernel-launch delimiters. *)
+let puncts3 = [ "<<<"; ">>>"; "<<="; ">>="; "..."; "->*" ]
+let puncts2 =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "++"; "--"; "+="; "-=";
+    "*="; "/="; "%="; "&="; "|="; "^="; "->"; "::" ]
+
+let try_punct st =
+  let try_list lst n =
+    if st.pos + n <= String.length st.src then
+      let s = String.sub st.src st.pos n in
+      if List.mem s lst then Some s else None
+    else None
+  in
+  match try_list puncts3 3 with
+  | Some s -> Some s
+  | None ->
+    (match try_list puncts2 2 with
+     | Some s -> Some s
+     | None -> Some (String.make 1 (peek st)))
+
+let tokenize ~file src =
+  let st = make_state ~file src in
+  let toks = ref [] in
+  let emit kind loc = toks := { Token.kind; loc } :: !toks in
+  let rec loop () =
+    if eof st then ()
+    else begin
+      let c = peek st in
+      if c = ' ' || c = '\t' || c = '\r' || c = '\n' then (advance st; loop ())
+      else if c = '/' && peek2 st = '/' then (skip_line_comment st; loop ())
+      else if c = '/' && peek2 st = '*' then (skip_block_comment st; loop ())
+      else if c = '#' then begin
+        st.diags <- Printf.sprintf "%s: preprocessor directive reached lexer" (Loc.to_string (here st)) :: st.diags;
+        while (not (eof st)) && peek st <> '\n' do advance st done;
+        loop ()
+      end
+      else begin
+        let loc = here st in
+        if Util.Strutil.is_ident_start c then begin
+          let s = lex_ident st in
+          if Token.is_keyword s then emit (Token.Keyword s) loc
+          else emit (Token.Ident s) loc
+        end
+        else if Util.Strutil.is_digit c || (c = '.' && Util.Strutil.is_digit (peek2 st)) then
+          emit (lex_number st) loc
+        else if c = '"' then emit (lex_string st) loc
+        else if c = '\'' then emit (lex_char st) loc
+        else begin
+          match try_punct st with
+          | Some p ->
+            String.iter (fun _ -> advance st) p;
+            emit (Token.Punct p) loc
+          | None -> advance st
+        end;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  emit Token.Eof (here st);
+  ignore peek3;
+  {
+    tokens = List.rev !toks;
+    comment_lines = Hashtbl.length st.comment_line_set;
+    diagnostics = List.rev st.diags;
+  }

@@ -1,0 +1,8 @@
+(** Source locations.  Lines and columns are 1-based, as editors count. *)
+
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let to_string l = Printf.sprintf "%s:%d:%d" l.file l.line l.col
+let pp fmt l = Format.pp_print_string fmt (to_string l)

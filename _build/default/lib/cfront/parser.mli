@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the C/C++/CUDA subset.
+
+    The parser is {b tolerant}: any top-level region it cannot parse is
+    skipped (to the next balanced [;] or [}]) and recorded as
+    {!Ast.Tunparsed} with a diagnostic — the behaviour of fuzzy industrial
+    analyzers such as Lizard.  Inside function bodies parsing is strict; a
+    failing body aborts only that definition.
+
+    Expression and statement ids are globally unique across every
+    translation unit parsed in the process, so coverage counters keyed on
+    them never alias between files. *)
+
+exception Parse_error of string * Loc.t
+
+(** Parse one translation unit.
+
+    [extra_types] seeds the type-name registry — the stand-in for type
+    names that would arrive via header includes (see
+    {!Cfront.Project.parse}, which derives them automatically for
+    multi-file projects).  [file] is used for locations only; [source] is
+    the raw text (the preprocessor runs internally). *)
+val parse_file : ?extra_types:string list -> file:string -> string -> Ast.tu
+
+(** Parse an expression in isolation (tests and tooling). *)
+val parse_expr_string : string -> Ast.expr
+
+(** Parse a statement in isolation (tests and tooling). *)
+val parse_stmt_string : string -> Ast.stmt

@@ -1,0 +1,196 @@
+(** Pretty-printer for the AST back to C-like source.
+
+    Used by round-trip tests (parse ∘ print ∘ parse is structurally stable)
+    and by debugging dumps.  Output is deterministic. *)
+
+open Ast
+
+let unop_str = function
+  | Neg -> "-" | Pos -> "+" | Lnot -> "!" | Bnot -> "~"
+  | Pre_inc -> "++" | Pre_dec -> "--" | Deref -> "*" | Addr_of -> "&"
+
+let postop_str = function Post_inc -> "++" | Post_dec -> "--"
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Band -> "&" | Bxor -> "^" | Bor -> "|" | Land -> "&&" | Lor -> "||"
+  | Comma -> ","
+
+let assign_str = function
+  | A_eq -> "=" | A_add -> "+=" | A_sub -> "-=" | A_mul -> "*=" | A_div -> "/="
+  | A_mod -> "%=" | A_shl -> "<<=" | A_shr -> ">>=" | A_and -> "&=" | A_or -> "|="
+  | A_xor -> "^="
+
+let cpp_cast_str = function
+  | Static_cast -> "static_cast"
+  | Dynamic_cast -> "dynamic_cast"
+  | Const_cast -> "const_cast"
+  | Reinterpret_cast -> "reinterpret_cast"
+
+let rec expr_str e =
+  match e.e with
+  | Int_const v -> Int64.to_string v
+  | Float_const v ->
+    let s = Printf.sprintf "%.6g" v in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then s
+    else s ^ ".0"
+  | Bool_const b -> if b then "true" else "false"
+  | Str_const s -> Printf.sprintf "%S" s
+  | Char_const c -> Printf.sprintf "'%s'" (Char.escaped c)
+  | Nullptr -> "nullptr"
+  | Id s -> s
+  | Unary (op, a) -> Printf.sprintf "(%s%s)" (unop_str op) (expr_str a)
+  | Postfix (op, a) -> Printf.sprintf "(%s%s)" (expr_str a) (postop_str op)
+  | Binary (Comma, a, b) -> Printf.sprintf "%s, %s" (expr_str a) (expr_str b)
+  | Binary (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Assign (op, a, b) ->
+    Printf.sprintf "%s %s %s" (expr_str a) (assign_str op) (expr_str b)
+  | Ternary (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_str c) (expr_str a) (expr_str b)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" (expr_str f) (String.concat ", " (List.map expr_str args))
+  | Kernel_launch { kernel; grid; block; args } ->
+    Printf.sprintf "%s<<<%s, %s>>>(%s)" (expr_str kernel) (expr_str grid)
+      (expr_str block)
+      (String.concat ", " (List.map expr_str args))
+  | Index (a, i) -> Printf.sprintf "%s[%s]" (expr_str a) (expr_str i)
+  | Member { obj; arrow; field } ->
+    Printf.sprintf "%s%s%s" (expr_str obj) (if arrow then "->" else ".") field
+  | C_cast (ty, a) -> Printf.sprintf "(%s)%s" (type_to_string ty) (expr_str a)
+  | Cpp_cast (k, ty, a) ->
+    Printf.sprintf "%s<%s>(%s)" (cpp_cast_str k) (type_to_string ty) (expr_str a)
+  | Sizeof_type ty -> Printf.sprintf "sizeof(%s)" (type_to_string ty)
+  | Sizeof_expr a -> Printf.sprintf "sizeof %s" (expr_str a)
+  | New { ty; array_size = Some n; _ } ->
+    Printf.sprintf "new %s[%s]" (type_to_string ty) (expr_str n)
+  | New { ty; array_size = None; init_args = [] } ->
+    Printf.sprintf "new %s" (type_to_string ty)
+  | New { ty; array_size = None; init_args } ->
+    Printf.sprintf "new %s(%s)" (type_to_string ty)
+      (String.concat ", " (List.map expr_str init_args))
+  | Delete { array; target } ->
+    Printf.sprintf "delete%s %s" (if array then "[]" else "") (expr_str target)
+  | Throw None -> "throw"
+  | Throw (Some a) -> Printf.sprintf "throw %s" (expr_str a)
+
+let decl_str d =
+  let init = match d.v_init with None -> "" | Some e -> " = " ^ expr_str e in
+  (* array types print after the name *)
+  let rec split_arrays ty suffix =
+    match ty with
+    | Tarray (inner, Some n) -> split_arrays inner (Printf.sprintf "%s[%d]" suffix n)
+    | Tarray (inner, None) -> split_arrays inner (suffix ^ "[]")
+    | _ -> (ty, suffix)
+  in
+  let base, suffix = split_arrays d.v_type "" in
+  Printf.sprintf "%s %s%s%s" (type_to_string base) d.v_name suffix init
+
+let rec stmt_lines indent st =
+  let pad = String.make (indent * 2) ' ' in
+  let line s = [ pad ^ s ] in
+  match st.s with
+  | Sexpr e -> line (expr_str e ^ ";")
+  | Sempty -> line ";"
+  | Sdecl ds -> List.concat_map (fun d -> line (decl_str d ^ ";")) ds
+  | Sblock ss ->
+    (pad ^ "{") :: List.concat_map (stmt_lines (indent + 1)) ss @ [ pad ^ "}" ]
+  | Sif { cond; then_; else_ } ->
+    let head = line (Printf.sprintf "if (%s)" (expr_str cond)) in
+    let t = stmt_lines (indent + 1) then_ in
+    let e =
+      match else_ with
+      | None -> []
+      | Some s -> line "else" @ stmt_lines (indent + 1) s
+    in
+    head @ t @ e
+  | Swhile (c, body) ->
+    line (Printf.sprintf "while (%s)" (expr_str c)) @ stmt_lines (indent + 1) body
+  | Sdo_while (body, c) ->
+    line "do"
+    @ stmt_lines (indent + 1) body
+    @ line (Printf.sprintf "while (%s);" (expr_str c))
+  | Sfor { init; cond; update; body } ->
+    let init_s =
+      match init with
+      | Fi_empty -> ""
+      | Fi_expr e -> expr_str e
+      | Fi_decl ds -> String.concat ", " (List.map decl_str ds)
+    in
+    let cond_s = match cond with None -> "" | Some e -> expr_str e in
+    let upd_s = match update with None -> "" | Some e -> expr_str e in
+    line (Printf.sprintf "for (%s; %s; %s)" init_s cond_s upd_s)
+    @ stmt_lines (indent + 1) body
+  | Sswitch (e, body) ->
+    line (Printf.sprintf "switch (%s)" (expr_str e)) @ stmt_lines (indent + 1) body
+  | Scase e -> line (Printf.sprintf "case %s:" (expr_str e))
+  | Sdefault -> line "default:"
+  | Sbreak -> line "break;"
+  | Scontinue -> line "continue;"
+  | Sreturn None -> line "return;"
+  | Sreturn (Some e) -> line (Printf.sprintf "return %s;" (expr_str e))
+  | Sgoto l -> line (Printf.sprintf "goto %s;" l)
+  | Slabel (l, inner) -> line (l ^ ":") @ stmt_lines indent inner
+  | Stry { body; catches } ->
+    line "try"
+    @ stmt_lines (indent + 1) body
+    @ List.concat_map
+        (fun (param, handler) ->
+          line (Printf.sprintf "catch (%s)" param) @ stmt_lines (indent + 1) handler)
+        catches
+
+let func_qual_str = function
+  | Q_global -> "__global__"
+  | Q_device -> "__device__"
+  | Q_host -> "__host__"
+  | Q_static -> "static"
+  | Q_inline -> "inline"
+  | Q_virtual -> "virtual"
+  | Q_extern -> "extern"
+
+let func_str (f : func) =
+  let quals = String.concat "" (List.map (fun q -> func_qual_str q ^ " ") f.f_quals) in
+  let params =
+    String.concat ", "
+      (List.map (fun p -> Printf.sprintf "%s %s" (type_to_string p.p_type) p.p_name) f.f_params)
+  in
+  let head = Printf.sprintf "%s%s %s(%s)" quals (type_to_string f.f_ret) f.f_name params in
+  match f.f_body with
+  | None -> head ^ ";"
+  | Some body -> head ^ "\n" ^ String.concat "\n" (stmt_lines 0 body)
+
+let rec top_lines top =
+  match top with
+  | Tfunc f -> [ func_str f ]
+  | Tglobal g ->
+    let q = (if g.g_static then "static " else "") ^ (if g.g_device then "__device__ " else "") in
+    [ q ^ decl_str g.g_decl ^ ";" ]
+  | Ttypedef (name, ty) -> [ Printf.sprintf "typedef %s %s;" (type_to_string ty) name ]
+  | Tenum e ->
+    let items =
+      String.concat ", "
+        (List.map
+           (fun (n, v) ->
+             match v with None -> n | Some i -> Printf.sprintf "%s = %d" n i)
+           e.en_items)
+    in
+    [ Printf.sprintf "enum %s { %s };" e.en_name items ]
+  | Trecord r ->
+    let kw = match r.r_kind with Rstruct -> "struct" | Rclass -> "class" in
+    let fields =
+      List.map (fun (_, d) -> "  " ^ decl_str d ^ ";") r.r_fields
+    in
+    let methods = List.concat_map (fun m -> [ "  " ^ func_str m ]) r.r_methods in
+    [ Printf.sprintf "%s %s {" kw r.r_name ] @ fields @ methods @ [ "};" ]
+  | Tnamespace (name, inner) ->
+    [ Printf.sprintf "namespace %s {" name ]
+    @ List.concat_map top_lines inner
+    @ [ "}" ]
+  | Tusing s -> [ Printf.sprintf "using %s;" s ]
+  | Tunparsed { tokens_skipped; _ } ->
+    [ Printf.sprintf "/* unparsed region: %d tokens */" tokens_skipped ]
+
+let tu_str (tu : tu) = String.concat "\n" (List.concat_map top_lines tu.tops) ^ "\n"

@@ -1,0 +1,88 @@
+(** In-memory project model.
+
+    A project is a set of source files grouped into modules (Apollo's
+    perception, planning, …).  Files live in memory — the corpus generator
+    produces them and the analyzers consume them without touching the
+    filesystem, which keeps experiments hermetic. *)
+
+type source_file = {
+  path : string;  (** project-relative path, e.g. "perception/detector.cc" *)
+  modname : string;  (** owning module, e.g. "perception" *)
+  header : bool;
+  content : string;
+}
+
+type modul = { m_name : string; m_files : source_file list }
+
+type t = { p_name : string; p_modules : modul list }
+
+type parsed_file = { file : source_file; tu : Ast.tu }
+
+type parsed = {
+  project : t;
+  files : parsed_file list;
+}
+
+let make ~name modules = { p_name = name; p_modules = modules }
+
+let all_files t = List.concat_map (fun m -> m.m_files) t.p_modules
+
+let file_count t = List.length (all_files t)
+
+(* Cheap cross-file type discovery: real projects share struct/typedef
+   names through headers; an in-memory project shares them through this
+   pre-scan, so [struct X] defined in one file parses as a type in all. *)
+let scan_type_names (files : source_file list) =
+  let names = ref [] in
+  List.iter
+    (fun f ->
+      let toks = (Lexer.tokenize ~file:f.path f.content).Lexer.tokens in
+      let rec go = function
+        | { Token.kind = Token.Keyword ("struct" | "class" | "enum"); _ }
+          :: ({ Token.kind = Token.Ident name; _ } :: _ as rest) ->
+          names := name :: !names;
+          go rest
+        | { Token.kind = Token.Keyword "typedef"; _ } :: rest ->
+          (* the identifier just before the terminating ';' *)
+          let rec find_name last = function
+            | { Token.kind = Token.Punct ";"; _ } :: rest' ->
+              (match last with Some n -> names := n :: !names | None -> ());
+              go rest'
+            | { Token.kind = Token.Ident n; _ } :: rest' -> find_name (Some n) rest'
+            | _ :: rest' -> find_name last rest'
+            | [] -> ()
+          in
+          find_name None rest
+        | _ :: rest -> go rest
+        | [] -> ()
+      in
+      go toks)
+    files;
+  List.sort_uniq compare !names
+
+let parse t =
+  let extra_types = scan_type_names (all_files t) in
+  let files =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun f ->
+            { file = f; tu = Parser.parse_file ~extra_types ~file:f.path f.content })
+          m.m_files)
+      t.p_modules
+  in
+  { project = t; files }
+
+let parsed_files_of_module parsed modname =
+  List.filter (fun pf -> pf.file.modname = modname) parsed.files
+
+let module_names t = List.map (fun m -> m.m_name) t.p_modules
+
+(** All functions with a body across a list of parsed files. *)
+let defined_functions pfs =
+  List.concat_map
+    (fun pf ->
+      List.filter (fun f -> f.Ast.f_body <> None) (Ast.functions_of_tu pf.tu))
+    pfs
+
+let all_functions parsed = defined_functions parsed.files

@@ -1,0 +1,1 @@
+lib/corpus/apollo_profile.ml: List Stdlib Util

@@ -1,0 +1,1 @@
+lib/corpus/fault_src.ml: Cfront Coverage List Yolo_src

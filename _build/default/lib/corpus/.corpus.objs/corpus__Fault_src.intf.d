@@ -1,0 +1,1 @@
+lib/corpus/fault_src.mli:

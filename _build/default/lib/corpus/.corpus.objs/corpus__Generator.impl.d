@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Apollo_profile Array Buffer Cfront List Namegen Printf Stdlib String Util

@@ -1,0 +1,1 @@
+lib/corpus/namegen.ml: Printf Util

@@ -1,0 +1,1 @@
+lib/corpus/other_frameworks.ml: Apollo_profile

@@ -1,0 +1,1 @@
+lib/corpus/other_frameworks.mli: Apollo_profile

@@ -1,0 +1,1 @@
+lib/corpus/pipeline_src.ml: Cfront List

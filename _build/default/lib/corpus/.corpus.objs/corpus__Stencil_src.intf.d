@@ -1,0 +1,1 @@
+lib/corpus/stencil_src.mli: Cfront

@@ -1,0 +1,1 @@
+lib/corpus/yolo_src.mli: Cfront

@@ -1,0 +1,240 @@
+(** Statistical profile of the Apollo AD framework, as published in the
+    paper (Figure 3 and Sections 3.1-3.5).
+
+    Apollo itself is not shippable here (220k+ LOC, external project), so
+    the corpus generator reproduces its published statistics exactly:
+
+    - >220k LOC total, modules between 5k and 60k LOC (Section 3.4.2);
+    - hundreds-to-thousands of functions per module (Figure 3);
+    - 554 functions with cyclomatic complexity above 10 over the whole
+      framework (Section 3.1.1), distributed over modules;
+    - more than 1,400 explicit casts (Section 3.1.3);
+    - about 900 global variables in the perception module (Section 3.5);
+    - 41% of functions with several exit points in object detection
+      (Section 3.5 item 1);
+    - CUDA kernels in the perception module with the pointer/dynamic
+      memory pattern of Figure 4;
+    - well-followed Google C++ naming and style (Observations 8 and 9). *)
+
+type module_spec = {
+  name : string;
+  target_loc : int;
+  n_files : int;
+  n_functions : int;
+  over10 : int;  (** functions with CC > 10 (includes the next two) *)
+  over20 : int;  (** functions with CC > 20 (includes the next one) *)
+  over50 : int;  (** functions with CC > 50 *)
+  globals : int;
+  casts : int;
+  multi_exit_frac : float;
+  gotos : int;
+  recursive_fns : int;
+  uninit_vars : int;
+  cuda_kernels : int;
+  uses_threads : bool;
+}
+
+let perception =
+  {
+    name = "perception";
+    target_loc = 61_000;
+    n_files = 52;
+    n_functions = 1480;
+    over10 = 150;
+    over20 = 38;
+    over50 = 4;
+    globals = 900;
+    casts = 430;
+    multi_exit_frac = 0.44;
+    gotos = 14;
+    recursive_fns = 2;
+    uninit_vars = 18;
+    cuda_kernels = 22;
+    uses_threads = true;
+  }
+
+let planning =
+  {
+    name = "planning";
+    target_loc = 48_000;
+    n_files = 44;
+    n_functions = 1150;
+    over10 = 118;
+    over20 = 30;
+    over50 = 3;
+    globals = 120;
+    casts = 300;
+    multi_exit_frac = 0.35;
+    gotos = 8;
+    recursive_fns = 2;
+    uninit_vars = 12;
+    cuda_kernels = 0;
+    uses_threads = true;
+  }
+
+let prediction =
+  {
+    name = "prediction";
+    target_loc = 26_000;
+    n_files = 26;
+    n_functions = 640;
+    over10 = 62;
+    over20 = 15;
+    over50 = 1;
+    globals = 70;
+    casts = 160;
+    multi_exit_frac = 0.33;
+    gotos = 4;
+    recursive_fns = 1;
+    uninit_vars = 8;
+    cuda_kernels = 0;
+    uses_threads = false;
+  }
+
+let localization =
+  {
+    name = "localization";
+    target_loc = 21_000;
+    n_files = 20;
+    n_functions = 510;
+    over10 = 50;
+    over20 = 12;
+    over50 = 1;
+    globals = 60;
+    casts = 130;
+    multi_exit_frac = 0.30;
+    gotos = 4;
+    recursive_fns = 0;
+    uninit_vars = 6;
+    cuda_kernels = 0;
+    uses_threads = false;
+  }
+
+let hdmap =
+  {
+    name = "map";
+    target_loc = 30_000;
+    n_files = 28;
+    n_functions = 760;
+    over10 = 72;
+    over20 = 18;
+    over50 = 2;
+    globals = 80;
+    casts = 170;
+    multi_exit_frac = 0.32;
+    gotos = 2;
+    recursive_fns = 3;  (* tree traversals — the paper's "well-known purposes" *)
+    uninit_vars = 6;
+    cuda_kernels = 0;
+    uses_threads = false;
+  }
+
+let routing =
+  {
+    name = "routing";
+    target_loc = 9_000;
+    n_files = 10;
+    n_functions = 220;
+    over10 = 22;
+    over20 = 5;
+    over50 = 0;
+    globals = 25;
+    casts = 55;
+    multi_exit_frac = 0.28;
+    gotos = 0;
+    recursive_fns = 1;
+    uninit_vars = 3;
+    cuda_kernels = 0;
+    uses_threads = false;
+  }
+
+let control =
+  {
+    name = "control";
+    target_loc = 14_000;
+    n_files = 14;
+    n_functions = 340;
+    over10 = 34;
+    over20 = 8;
+    over50 = 1;
+    globals = 45;
+    casts = 90;
+    multi_exit_frac = 0.30;
+    gotos = 2;
+    recursive_fns = 0;
+    uninit_vars = 4;
+    cuda_kernels = 0;
+    uses_threads = true;
+  }
+
+let canbus =
+  {
+    name = "canbus";
+    target_loc = 7_000;
+    n_files = 8;
+    n_functions = 180;
+    over10 = 19;
+    over20 = 4;
+    over50 = 0;
+    globals = 30;
+    casts = 45;
+    multi_exit_frac = 0.26;
+    gotos = 2;
+    recursive_fns = 0;
+    uninit_vars = 3;
+    cuda_kernels = 0;
+    uses_threads = false;
+  }
+
+let common =
+  {
+    name = "common";
+    target_loc = 12_000;
+    n_files = 12;
+    n_functions = 300;
+    over10 = 27;
+    over20 = 6;
+    over50 = 0;
+    globals = 50;
+    casts = 75;
+    multi_exit_frac = 0.25;
+    gotos = 0;
+    recursive_fns = 1;
+    uninit_vars = 4;
+    cuda_kernels = 0;
+    uses_threads = true;
+  }
+
+(** The full framework: nine modules, 228k LOC, 554 CC>10 functions,
+    1,455 casts. *)
+let full =
+  [ perception; planning; prediction; localization; hdmap; routing; control;
+    canbus; common ]
+
+(** A reduced profile (~8% scale) with the same *relative* shape, for fast
+    tests and the quickstart example. *)
+let scale ~factor spec =
+  let s x = Stdlib.max 1 (int_of_float (float_of_int x *. factor)) in
+  (* zero stays zero; anything present in the original stays present *)
+  let s0 x = if x = 0 then 0 else s x in
+  {
+    spec with
+    target_loc = s spec.target_loc;
+    n_files = s spec.n_files;
+    n_functions = s spec.n_functions;
+    over10 = s0 spec.over10;
+    over20 = s0 spec.over20;
+    over50 = s0 spec.over50;
+    globals = s0 spec.globals;
+    casts = s0 spec.casts;
+    gotos = s0 spec.gotos;
+    recursive_fns = s0 spec.recursive_fns;
+    uninit_vars = s0 spec.uninit_vars;
+    cuda_kernels = s0 spec.cuda_kernels;
+  }
+
+let small = List.map (scale ~factor:0.08) full
+
+let total_loc specs = Util.Stats.sum_int (List.map (fun s -> s.target_loc) specs)
+let total_over10 specs = Util.Stats.sum_int (List.map (fun s -> s.over10) specs)
+let total_casts specs = Util.Stats.sum_int (List.map (fun s -> s.casts) specs)

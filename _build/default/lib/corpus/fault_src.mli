@@ -1,0 +1,28 @@
+(** Fault-injection scenarios: the dynamic face of Observation 6.  Each
+    scenario drives a YOLO entry point with an invalid input; missing
+    validation becomes an observable memory fault in the checked
+    interpreter, while the few validated paths survive. *)
+
+type expectation = Expect_fault | Expect_survive
+
+type scenario = {
+  sc_name : string;
+  sc_description : string;
+  sc_expect : expectation;
+  sc_driver : string;  (** C source defining [int scenario()] *)
+}
+
+val scenarios : scenario list
+
+type outcome = {
+  scenario : scenario;
+  faulted : bool;
+  detail : string;  (** fault message or return value *)
+  as_expected : bool;
+}
+
+(** Run every scenario, each in a fresh interpreter. *)
+val run_all : unit -> outcome list
+
+(** [(faults realized, faults expected, as-expected, total)]. *)
+val summary : outcome list -> int * int * int * int

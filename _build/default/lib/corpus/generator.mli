@@ -1,0 +1,14 @@
+(** Deterministic generator of an Apollo-profile C++/CUDA codebase.
+
+    Everything is driven by [seed]; the same seed always produces
+    byte-identical sources.  Counted properties (functions over a
+    complexity threshold, explicit casts, mutable globals, gotos,
+    recursive functions, uninitialized reads, CUDA kernels) are driven by
+    exact quotas from {!Apollo_profile}, not probabilities, so measured
+    figures cannot drift between runs.
+
+    Generated code is Google-style-clean (naming, layout, line length) —
+    matching the paper's Observations 8 and 9 — while violating the
+    substantive guidelines exactly as Apollo does. *)
+
+val generate : ?seed:int -> Apollo_profile.module_spec list -> Cfront.Project.t

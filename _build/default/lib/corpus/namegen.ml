@@ -1,0 +1,65 @@
+(** Deterministic identifier generation in Apollo's (Google C++) naming
+    style: CamelCase functions and types, snake_case locals, kConstant
+    constants, g_-prefixed globals. *)
+
+let verbs =
+  [| "Estimate"; "Compute"; "Update"; "Track"; "Fuse"; "Project"; "Filter";
+     "Predict"; "Plan"; "Smooth"; "Detect"; "Classify"; "Resolve"; "Publish";
+     "Parse"; "Validate"; "Clamp"; "Interpolate"; "Merge"; "Select"; "Refine";
+     "Sample"; "Extract"; "Align"; "Score" |]
+
+let nouns =
+  [| "Trajectory"; "Obstacle"; "Lane"; "Velocity"; "Boundary"; "Waypoint";
+     "Signal"; "Curvature"; "Heading"; "Grid"; "Cloud"; "Frame"; "Sensor";
+     "Route"; "Polygon"; "Anchor"; "Feature"; "Tensor"; "Cost"; "Margin";
+     "Corridor"; "Contour"; "Segment"; "Spline"; "Horizon" |]
+
+let suffixes =
+  [| "Cost"; "Index"; "State"; "Buffer"; "Window"; "Offset"; "Limit"; "Score";
+     "Delta"; "Ratio"; "Bound"; "Gain" |]
+
+let snake_words =
+  [| "lane"; "obstacle"; "speed"; "heading"; "margin"; "cost"; "delta";
+     "ratio"; "count"; "index"; "offset"; "limit"; "score"; "width"; "bound";
+     "gain"; "angle"; "curv"; "dist"; "weight" |]
+
+let counter = ref 0
+
+let reset () = counter := 0
+
+let next_id () =
+  incr counter;
+  !counter
+
+let function_name rng =
+  Printf.sprintf "%s%s%s%d" (Util.Rng.pick_array rng verbs)
+    (Util.Rng.pick_array rng nouns)
+    (Util.Rng.pick_array rng suffixes)
+    (next_id ())
+
+let kernel_name rng =
+  Printf.sprintf "%s%sKernel%d" (Util.Rng.pick_array rng verbs)
+    (Util.Rng.pick_array rng nouns)
+    (next_id ())
+
+let struct_name rng =
+  Printf.sprintf "%s%sInfo%d" (Util.Rng.pick_array rng nouns)
+    (Util.Rng.pick_array rng suffixes)
+    (next_id ())
+
+let local_name rng =
+  Printf.sprintf "%s_%s%d" (Util.Rng.pick_array rng snake_words)
+    (Util.Rng.pick_array rng snake_words)
+    (next_id ())
+
+let global_name rng =
+  Printf.sprintf "g_%s_%s%d" (Util.Rng.pick_array rng snake_words)
+    (Util.Rng.pick_array rng snake_words)
+    (next_id ())
+
+let constant_name rng =
+  Printf.sprintf "kMax%s%s%d" (Util.Rng.pick_array rng nouns)
+    (Util.Rng.pick_array rng suffixes)
+    (next_id ())
+
+let field_name rng = Printf.sprintf "%s_%s" (Util.Rng.pick_array rng snake_words) (Util.Rng.pick_array rng snake_words)

@@ -1,0 +1,15 @@
+(** Profiles for the other AD frameworks the paper names in Section 2
+    (Autoware, Udacity), at their published scale, with the same
+    statistical character — supporting the claim that "the conclusions we
+    derive for Apollo ... hold to a large extent for all AD frameworks". *)
+
+val autoware : Apollo_profile.module_spec list
+val udacity : Apollo_profile.module_spec list
+
+type framework = {
+  fw_name : string;
+  fw_specs : Apollo_profile.module_spec list;
+  fw_seed : int;
+}
+
+val all_frameworks : framework list

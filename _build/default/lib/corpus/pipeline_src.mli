@@ -1,0 +1,11 @@
+(** A runnable miniature of the Figure 1 AD pipeline in C: synthetic
+    sensor grid -> detection -> tracking -> prediction -> corridor
+    planning -> PD control -> CAN packing, executed closed-loop.  The
+    driver's exit value is the collision count — zero when the planner's
+    safety property holds. *)
+
+val extra_types : string list
+val files : (string * string) list
+val parse_all : unit -> Cfront.Ast.tu list
+val measured_files : (string * string) list
+val entry : string

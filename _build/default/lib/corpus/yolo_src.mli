@@ -1,0 +1,19 @@
+(** Hand-written YOLO-style object-detection C sources (the Figure 5
+    subject), embedded as strings and executed by the interpreter.  The
+    [test_main.c] driver plays the role of the paper's "real-scenario
+    tests": it exercises the inference path and leaves error handling,
+    unused activation kinds, GEMM transpose modes and most config options
+    cold — Observation 10's coverage gap, by construction. *)
+
+(** Struct names shared across files (the stand-in for a common header). *)
+val extra_types : string list
+
+(** (path, content) pairs; [network.c] defines the shared structs. *)
+val files : (string * string) list
+
+val parse_all : unit -> Cfront.Ast.tu list
+
+(** Files under measurement (the test driver itself is excluded). *)
+val measured_files : (string * string) list
+
+val entry : string

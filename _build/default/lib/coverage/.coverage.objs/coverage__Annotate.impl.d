@@ -1,0 +1,1 @@
+lib/coverage/annotate.ml: Array Buffer Cfront Collector Hashtbl Instrument List Option Printf Util

@@ -1,0 +1,1 @@
+lib/coverage/annotate.mli: Cfront Collector

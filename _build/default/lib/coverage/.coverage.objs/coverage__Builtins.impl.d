@@ -1,0 +1,1 @@
+lib/coverage/builtins.ml: Buffer Cfront Char Float Int64 List Memory Printf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/coverage/collector.ml: Hashtbl Instrument Interp List Mcdc Option Util

@@ -1,0 +1,1 @@
+lib/coverage/collector.mli: Hashtbl Instrument Interp Mcdc

@@ -1,0 +1,1 @@
+lib/coverage/instrument.ml: Cfront List Util

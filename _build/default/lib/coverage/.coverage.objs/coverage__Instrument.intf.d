@@ -1,0 +1,1 @@
+lib/coverage/instrument.mli: Cfront

@@ -1,0 +1,1 @@
+lib/coverage/interp.ml: Array Buffer Builtins Cfront Char Hashtbl Instrument Int64 List Memory Option Printf Stdlib String Util Value

@@ -1,0 +1,1 @@
+lib/coverage/interp.mli: Cfront Value

@@ -1,0 +1,1 @@
+lib/coverage/memory.ml: Array Hashtbl Option Printf Stdlib Value

@@ -1,0 +1,1 @@
+lib/coverage/testgen.ml: Buffer Cfront Collector Instrument Int64 Interp List Printf String

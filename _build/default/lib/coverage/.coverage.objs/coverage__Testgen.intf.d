@@ -1,0 +1,1 @@
+lib/coverage/testgen.mli: Cfront Collector

@@ -1,0 +1,1 @@
+lib/coverage/value.ml: Int64 Printf

@@ -1,0 +1,83 @@
+(** gcov/RapiCover-style annotated source listings.
+
+    Each source line is prefixed with its execution evidence:
+    - [    n|] the statements on this line executed (max hit count n);
+    - [#####|] the line holds executable statements that never ran;
+    - [     |] no executable statement on this line. *)
+
+type line_status = Not_executable | Hit of int | Missed
+
+let status_prefix = function
+  | Not_executable -> "      |"
+  | Hit n when n > 99999 -> "  >99k|"
+  | Hit n -> Printf.sprintf "%6d|" n
+  | Missed -> " #####|"
+
+(** Compute per-line status for one translation unit under a collector. *)
+let line_statuses (collector : Collector.t) (tu : Cfront.Ast.tu) =
+  let nlines = List.length (Util.Strutil.lines tu.Cfront.Ast.raw_source) in
+  let status = Array.make (nlines + 1) Not_executable in
+  List.iter
+    (fun (fn : Cfront.Ast.func) ->
+      match fn.Cfront.Ast.f_body with
+      | None -> ()
+      | Some body ->
+        Cfront.Ast.iter_stmts
+          (fun s ->
+            if Instrument.is_executable s then begin
+              let line = s.Cfront.Ast.sloc.Cfront.Loc.line in
+              if line >= 1 && line <= nlines then begin
+                let hits =
+                  Option.value ~default:0
+                    (Hashtbl.find_opt collector.Collector.stmt_hits s.Cfront.Ast.sid)
+                in
+                match status.(line) with
+                | Not_executable -> status.(line) <- (if hits = 0 then Missed else Hit hits)
+                | Missed -> if hits > 0 then status.(line) <- Hit hits
+                | Hit old -> if hits > old then status.(line) <- Hit hits
+              end
+            end)
+          body)
+    (Cfront.Ast.functions_of_tu tu);
+  status
+
+(** Render the annotated listing.  [only_functions] restricts output to
+    the line spans of the named functions. *)
+let render ?(only_functions = []) collector (tu : Cfront.Ast.tu) =
+  let status = line_statuses collector tu in
+  let spans =
+    match only_functions with
+    | [] -> None
+    | names ->
+      Some
+        (List.filter_map
+           (fun (fn : Cfront.Ast.func) ->
+             if List.mem (Cfront.Ast.qualified_name fn) names
+                || List.mem fn.Cfront.Ast.f_name names
+             then Some (fn.Cfront.Ast.f_loc.Cfront.Loc.line, fn.Cfront.Ast.f_end_line)
+             else None)
+           (Cfront.Ast.functions_of_tu tu))
+  in
+  let in_span line =
+    match spans with
+    | None -> true
+    | Some ss -> List.exists (fun (a, b) -> line >= a && line <= b) ss
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "== %s\n" tu.Cfront.Ast.tu_file);
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if in_span lineno then
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s\n" (status_prefix status.(lineno)) line))
+    (Util.Strutil.lines tu.Cfront.Ast.raw_source);
+  Buffer.contents buf
+
+(** Lines that hold executable statements but never ran — the work list
+    for writing the "additional test cases" of Observation 10. *)
+let missed_lines collector tu =
+  let status = line_statuses collector tu in
+  let acc = ref [] in
+  Array.iteri (fun i s -> if s = Missed then acc := i :: !acc) status;
+  List.rev !acc

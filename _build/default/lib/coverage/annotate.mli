@@ -1,0 +1,16 @@
+(** gcov/RapiCover-style annotated source listings. *)
+
+type line_status = Not_executable | Hit of int | Missed
+
+val status_prefix : line_status -> string
+
+(** Per-line status (1-based indexing; index 0 unused). *)
+val line_statuses : Collector.t -> Cfront.Ast.tu -> line_status array
+
+(** Annotated listing; [only_functions] restricts output to the line
+    spans of the named functions (simple or qualified names). *)
+val render : ?only_functions:string list -> Collector.t -> Cfront.Ast.tu -> string
+
+(** Line numbers holding executable statements that never ran — the work
+    list for Observation 10's missing test cases. *)
+val missed_lines : Collector.t -> Cfront.Ast.tu -> int list

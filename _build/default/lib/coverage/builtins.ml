@@ -1,0 +1,279 @@
+(** Builtin functions available to interpreted C code: a slice of libc and
+    libm, the CUDA runtime entry points, and a deterministic [rand].
+
+    The cell-addressed memory model (see {!Value}) means size arguments in
+    bytes are size arguments in cells, because [sizeof] of every scalar is
+    1. *)
+
+exception Builtin_error of string
+
+type ctx = {
+  mem : Memory.t;
+  output : Buffer.t;
+  rand_state : unit -> int64;
+  set_rand_state : int64 -> unit;
+}
+
+type t = ctx -> Value.t list -> Value.t
+
+let float1 f : t =
+ fun _ args ->
+  match args with
+  | [ v ] -> Value.Vfloat (f (Value.as_float v))
+  | _ -> raise (Builtin_error "expected 1 argument")
+
+let float2 f : t =
+ fun _ args ->
+  match args with
+  | [ a; b ] -> Value.Vfloat (f (Value.as_float a) (Value.as_float b))
+  | _ -> raise (Builtin_error "expected 2 arguments")
+
+let ptr_of = function
+  | Value.Vptr p -> p
+  | v -> raise (Builtin_error ("expected pointer, got " ^ Value.to_string v))
+
+let int_of v = Int64.to_int (Value.as_int v)
+
+(* printf-style formatting: %d %ld %u %f %g %e %s %c %p and %% are
+   substituted positionally; width/precision modifiers are passed through
+   to OCaml's printf where simple. *)
+let format_args fmt args =
+  let buf = Buffer.create (String.length fmt) in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> Value.Vint 0L
+    | a :: rest ->
+      args := rest;
+      a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c = '%' && !i + 1 < n then begin
+      (* scan to the conversion character *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && not (String.contains "diufgesc%xp" fmt.[!j])
+      do
+        incr j
+      done;
+      if !j < n then begin
+        (match fmt.[!j] with
+         | '%' -> Buffer.add_char buf '%'
+         | 'd' | 'i' | 'u' | 'x' ->
+           Buffer.add_string buf (Int64.to_string (Value.as_int (next ())))
+         | 'f' | 'e' | 'g' ->
+           Buffer.add_string buf (Printf.sprintf "%.6f" (Value.as_float (next ())))
+         | 's' -> (
+             match next () with
+             | Value.Vstr s -> Buffer.add_string buf s
+             | v -> Buffer.add_string buf (Value.to_string v))
+         | 'c' ->
+           Buffer.add_char buf
+             (Char.chr (Int64.to_int (Value.as_int (next ())) land 255))
+         | 'p' -> Buffer.add_string buf (Value.to_string (next ()))
+         | _ -> ());
+        i := !j + 1
+      end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let printf_builtin : t =
+ fun ctx args ->
+  match args with
+  | Value.Vstr fmt :: rest ->
+    let s = format_args fmt rest in
+    Buffer.add_string ctx.output s;
+    Value.Vint (Int64.of_int (String.length s))
+  | _ -> raise (Builtin_error "printf expects a literal format string")
+
+let fprintf_builtin : t =
+ fun ctx args ->
+  match args with
+  | _stream :: Value.Vstr fmt :: rest ->
+    let s = format_args fmt rest in
+    Buffer.add_string ctx.output s;
+    Value.Vint (Int64.of_int (String.length s))
+  | _ -> raise (Builtin_error "fprintf expects a stream and format string")
+
+let table : (string * t) list =
+  [
+    (* math *)
+    ("sqrt", float1 sqrt); ("sqrtf", float1 sqrt);
+    ("fabs", float1 abs_float); ("fabsf", float1 abs_float);
+    ("exp", float1 exp); ("expf", float1 exp);
+    ("log", float1 log); ("logf", float1 log);
+    ("sin", float1 sin); ("cos", float1 cos);
+    ("tanh", float1 tanh); ("tanhf", float1 tanh);
+    ("floor", float1 floor); ("floorf", float1 floor);
+    ("ceil", float1 ceil); ("ceilf", float1 ceil);
+    ("pow", float2 ( ** )); ("powf", float2 ( ** ));
+    ("fmax", float2 Stdlib.max); ("fmaxf", float2 Stdlib.max);
+    ("fmin", float2 Stdlib.min); ("fminf", float2 Stdlib.min);
+    ( "abs",
+      fun _ args ->
+        match args with
+        | [ v ] -> Value.Vint (Int64.abs (Value.as_int v))
+        | _ -> raise (Builtin_error "abs expects 1 argument") );
+    ( "fmod",
+      fun _ args ->
+        match args with
+        | [ a; b ] -> Value.Vfloat (Float.rem (Value.as_float a) (Value.as_float b))
+        | _ -> raise (Builtin_error "fmod expects 2 arguments") );
+    ("round", float1 Float.round);
+    ("roundf", float1 Float.round);
+    ( "atan2",
+      fun _ args ->
+        match args with
+        | [ a; b ] -> Value.Vfloat (atan2 (Value.as_float a) (Value.as_float b))
+        | _ -> raise (Builtin_error "atan2 expects 2 arguments") );
+    ( "isnan",
+      fun _ args ->
+        match args with
+        | [ v ] -> Value.Vint (if Float.is_nan (Value.as_float v) then 1L else 0L)
+        | _ -> raise (Builtin_error "isnan expects 1 argument") );
+    ( "strlen",
+      fun _ args ->
+        match args with
+        | [ Value.Vstr s ] -> Value.Vint (Int64.of_int (String.length s))
+        | _ -> raise (Builtin_error "strlen expects a string") );
+    ( "strcmp",
+      fun _ args ->
+        match args with
+        | [ Value.Vstr a; Value.Vstr b ] ->
+          Value.Vint (Int64.of_int (compare a b))
+        | _ -> raise (Builtin_error "strcmp expects two strings") );
+    ( "min",
+      fun _ args ->
+        match args with
+        | [ a; b ] ->
+          if Value.is_float a || Value.is_float b then
+            Value.Vfloat (Stdlib.min (Value.as_float a) (Value.as_float b))
+          else Value.Vint (Stdlib.min (Value.as_int a) (Value.as_int b))
+        | _ -> raise (Builtin_error "min expects 2 arguments") );
+    ( "max",
+      fun _ args ->
+        match args with
+        | [ a; b ] ->
+          if Value.is_float a || Value.is_float b then
+            Value.Vfloat (Stdlib.max (Value.as_float a) (Value.as_float b))
+          else Value.Vint (Stdlib.max (Value.as_int a) (Value.as_int b))
+        | _ -> raise (Builtin_error "max expects 2 arguments") );
+    (* memory *)
+    ( "malloc",
+      fun ctx args ->
+        match args with
+        | [ n ] -> Value.Vptr (Memory.alloc ctx.mem (int_of n))
+        | _ -> raise (Builtin_error "malloc expects 1 argument") );
+    ( "calloc",
+      fun ctx args ->
+        match args with
+        | [ n; sz ] -> Value.Vptr (Memory.alloc ctx.mem (int_of n * int_of sz))
+        | _ -> raise (Builtin_error "calloc expects 2 arguments") );
+    ( "free",
+      fun ctx args ->
+        match args with
+        | [ Value.Vnull ] -> Value.Vvoid
+        | [ p ] ->
+          Memory.free ctx.mem (ptr_of p);
+          Value.Vvoid
+        | _ -> raise (Builtin_error "free expects 1 argument") );
+    ( "memset",
+      fun ctx args ->
+        match args with
+        | [ p; v; n ] ->
+          Memory.fill ctx.mem ~dst:(ptr_of p) (Value.Vint (Value.as_int v)) (int_of n);
+          p
+        | _ -> raise (Builtin_error "memset expects 3 arguments") );
+    ( "memcpy",
+      fun ctx args ->
+        match args with
+        | [ dst; src; n ] ->
+          Memory.copy ctx.mem ~src:(ptr_of src) ~dst:(ptr_of dst) (int_of n);
+          dst
+        | _ -> raise (Builtin_error "memcpy expects 3 arguments") );
+    (* CUDA runtime *)
+    ( "cudaMalloc",
+      fun ctx args ->
+        match args with
+        | [ pp; n ] ->
+          let target = ptr_of pp in
+          let blk = Memory.alloc ctx.mem ~space:Memory.Device (int_of n) in
+          Memory.store ctx.mem target (Value.Vptr blk);
+          Value.Vint 0L
+        | _ -> raise (Builtin_error "cudaMalloc expects 2 arguments") );
+    ( "cudaFree",
+      fun ctx args ->
+        match args with
+        | [ Value.Vnull ] -> Value.Vint 0L
+        | [ p ] ->
+          Memory.free ctx.mem (ptr_of p);
+          Value.Vint 0L
+        | _ -> raise (Builtin_error "cudaFree expects 1 argument") );
+    ( "cudaMemcpy",
+      fun ctx args ->
+        match args with
+        | dst :: src :: n :: _kind ->
+          Memory.copy ctx.mem ~src:(ptr_of src) ~dst:(ptr_of dst) (int_of n);
+          Value.Vint 0L
+        | _ -> raise (Builtin_error "cudaMemcpy expects 4 arguments") );
+    ("cudaDeviceSynchronize", fun _ _ -> Value.Vint 0L);
+    ("cudaGetLastError", fun _ _ -> Value.Vint 0L);
+    ("cudaPeekAtLastError", fun _ _ -> Value.Vint 0L);
+    (* I/O *)
+    ("printf", printf_builtin);
+    ("fprintf", fprintf_builtin);
+    ( "puts",
+      fun ctx args ->
+        match args with
+        | [ Value.Vstr s ] ->
+          Buffer.add_string ctx.output (s ^ "\n");
+          Value.Vint 0L
+        | _ -> raise (Builtin_error "puts expects a string") );
+    (* assertions *)
+    ( "assert",
+      fun _ args ->
+        match args with
+        | [ v ] ->
+          if Value.truthy v then Value.Vvoid
+          else raise (Builtin_error "assertion failed")
+        | _ -> raise (Builtin_error "assert expects 1 argument") );
+    (* deterministic PRNG: xorshift64* *)
+    ( "rand",
+      fun ctx args ->
+        match args with
+        | [] ->
+          let s = ctx.rand_state () in
+          let s = Int64.logxor s (Int64.shift_left s 13) in
+          let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+          let s = Int64.logxor s (Int64.shift_left s 17) in
+          ctx.set_rand_state s;
+          Value.Vint (Int64.rem (Int64.logand s Int64.max_int) 32768L)
+        | _ -> raise (Builtin_error "rand expects no arguments") );
+    ( "srand",
+      fun ctx args ->
+        match args with
+        | [ v ] ->
+          ctx.set_rand_state (Int64.logor (Value.as_int v) 1L);
+          Value.Vvoid
+        | _ -> raise (Builtin_error "srand expects 1 argument") );
+  ]
+
+let lookup name = List.assoc_opt name table
+
+let apply (f : t) ctx args (loc : Cfront.Loc.t) =
+  try f ctx args
+  with Builtin_error msg ->
+    raise (Builtin_error (Printf.sprintf "%s: %s" (Cfront.Loc.to_string loc) msg))

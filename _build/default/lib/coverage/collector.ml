@@ -1,0 +1,133 @@
+(** Runtime coverage collector: aggregates the interpreter's hook events
+    and joins them with the static {!Instrument} points into per-function
+    and per-file reports. *)
+
+type t = {
+  stmt_hits : (int, int) Hashtbl.t;
+  decision_outcomes : (int * bool, int) Hashtbl.t;  (** (decision eid, outcome) *)
+  switch_hits : (int * int, int) Hashtbl.t;  (** (switch sid, clause idx) *)
+  calls : (string, int) Hashtbl.t;
+  kernel_launches : (string, int) Hashtbl.t;
+  mcdc : Mcdc.t;
+}
+
+let create () =
+  {
+    stmt_hits = Hashtbl.create 1024;
+    decision_outcomes = Hashtbl.create 256;
+    switch_hits = Hashtbl.create 64;
+    calls = Hashtbl.create 64;
+    kernel_launches = Hashtbl.create 16;
+    mcdc = Mcdc.create ();
+  }
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let hooks t : Interp.hooks =
+  {
+    Interp.on_stmt = (fun sid -> bump t.stmt_hits sid);
+    on_decision =
+      (fun eid conds outcome ->
+        bump t.decision_outcomes (eid, outcome);
+        Mcdc.record t.mcdc ~decision_eid:eid ~conds ~outcome);
+    on_switch = (fun sid clause -> bump t.switch_hits (sid, clause));
+    on_call = (fun name -> bump t.calls name);
+    on_kernel_launch = (fun name ~grid:_ ~block:_ -> bump t.kernel_launches name);
+  }
+
+let function_called t name = Hashtbl.mem t.calls name
+
+(* ------------------------------------------------------------------ *)
+(* Scoring                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type func_coverage = {
+  fp : Instrument.func_points;
+  called : bool;
+  stmts_hit : int;
+  stmts_total : int;
+  branches_hit : int;
+  branches_total : int;
+  conditions_hit : int;
+  conditions_total : int;
+}
+
+let score_function ?(mcdc_mode = `Masking) t (fp : Instrument.func_points) =
+  let stmts_hit =
+    List.length (List.filter (fun sid -> Hashtbl.mem t.stmt_hits sid) fp.Instrument.stmts)
+  in
+  let dec_outcomes =
+    Util.Stats.sum_int
+      (List.map
+         (fun (d : Instrument.decision) ->
+           (if Hashtbl.mem t.decision_outcomes (d.Instrument.d_eid, true) then 1 else 0)
+           + if Hashtbl.mem t.decision_outcomes (d.Instrument.d_eid, false) then 1 else 0)
+         fp.Instrument.decisions)
+  in
+  let switch_outcomes =
+    Util.Stats.sum_int
+      (List.map
+         (fun (sw : Instrument.switch_point) ->
+           let n = ref 0 in
+           for c = 0 to sw.Instrument.clauses - 1 do
+             if Hashtbl.mem t.switch_hits (sw.Instrument.sw_sid, c) then incr n
+           done;
+           !n)
+         fp.Instrument.switches)
+  in
+  let cond_scores =
+    List.map
+      (fun (d : Instrument.decision) ->
+        Mcdc.decision_score ~mode:mcdc_mode t.mcdc ~decision_eid:d.Instrument.d_eid
+          ~conditions:d.Instrument.conditions)
+      fp.Instrument.decisions
+  in
+  let stmts_total = List.length fp.Instrument.stmts in
+  let branches_total =
+    (2 * List.length fp.Instrument.decisions)
+    + Util.Stats.sum_int
+        (List.map (fun sw -> sw.Instrument.clauses) fp.Instrument.switches)
+  in
+  {
+    fp;
+    called = function_called t fp.Instrument.fp_name;
+    stmts_hit;
+    stmts_total;
+    branches_hit = dec_outcomes + switch_outcomes;
+    branches_total;
+    conditions_hit = Util.Stats.sum_int (List.map fst cond_scores);
+    conditions_total = Util.Stats.sum_int (List.map snd cond_scores);
+  }
+
+type file_coverage = {
+  file : string;
+  functions : func_coverage list;  (** called functions only *)
+  excluded : int;  (** functions never called, excluded as in the paper *)
+  stmt_pct : float;
+  branch_pct : float;
+  mcdc_pct : float;
+  function_pct : float;  (** fraction of defined functions entered at all *)
+}
+
+let pct a b = if b = 0 then 100.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let score_file ?(mcdc_mode = `Masking) t ~file (fps : Instrument.func_points list) =
+  let scored = List.map (score_function ~mcdc_mode t) fps in
+  let called, not_called = List.partition (fun fc -> fc.called) scored in
+  let sum f = Util.Stats.sum_int (List.map f called) in
+  {
+    file;
+    functions = called;
+    excluded = List.length not_called;
+    stmt_pct = pct (sum (fun fc -> fc.stmts_hit)) (sum (fun fc -> fc.stmts_total));
+    branch_pct = pct (sum (fun fc -> fc.branches_hit)) (sum (fun fc -> fc.branches_total));
+    mcdc_pct = pct (sum (fun fc -> fc.conditions_hit)) (sum (fun fc -> fc.conditions_total));
+    function_pct = pct (List.length called) (List.length scored);
+  }
+
+(** Aggregate means across files (unweighted, as the paper's per-file plot
+    averages are). *)
+let averages files =
+  ( Util.Stats.mean (List.map (fun f -> f.stmt_pct) files),
+    Util.Stats.mean (List.map (fun f -> f.branch_pct) files),
+    Util.Stats.mean (List.map (fun f -> f.mcdc_pct) files) )

@@ -1,0 +1,52 @@
+(** Interpreter for the C/C++/CUDA subset with coverage hooks.
+
+    Executes parsed translation units directly.  CUDA kernels launched
+    with [f<<<grid, block>>>(args)] run on the CPU, sequentially over the
+    grid with [threadIdx]/[blockIdx] bound per iteration — the cuda4cpu
+    approach the paper uses to measure GPU code coverage with CPU tooling.
+
+    Memory is cell-addressed and checked: out-of-bounds and
+    use-after-free accesses abort the run with a memory fault, which the
+    fault-injection harness exploits as a dynamic defensive-programming
+    probe. *)
+
+exception Runtime_error of string * Cfront.Loc.t
+exception Step_limit_exceeded
+
+(** Event hooks fired during execution; the {!Collector} aggregates them
+    into coverage reports. *)
+type hooks = {
+  on_stmt : int -> unit;  (** executable statement id *)
+  on_decision : int -> (int * bool option) list -> bool -> unit;
+      (** decision eid, (condition eid, value-if-evaluated) vector, outcome *)
+  on_switch : int -> int -> unit;  (** switch sid, clause index taken *)
+  on_call : string -> unit;  (** qualified function name *)
+  on_kernel_launch : string -> grid:int -> block:int -> unit;
+}
+
+val null_hooks : hooks
+
+(** Interpreter state: store, globals, functions, struct layouts. *)
+type env
+
+(** [create ()] makes a fresh environment.  [max_steps] bounds total
+    evaluation steps across all runs in this environment (default 5e7). *)
+val create : ?hooks:hooks -> ?max_steps:int -> unit -> env
+
+(** Load a unit's records, enums, globals and functions into the
+    environment (global initializers run immediately). *)
+val load_tu : env -> Cfront.Ast.tu -> unit
+
+(** [run env tus ~entry ~args] loads [tus] then calls [entry].  Returns
+    the entry's return value, or a diagnostic for runtime errors, memory
+    faults, uncaught C++ exceptions, or step-limit exhaustion.  An
+    environment survives errors and can run further entry points. *)
+val run :
+  env ->
+  Cfront.Ast.tu list ->
+  entry:string ->
+  args:Value.t list ->
+  (Value.t, string) result
+
+(** Everything the program printed via printf/puts so far. *)
+val output : env -> string

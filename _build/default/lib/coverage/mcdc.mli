@@ -1,0 +1,37 @@
+(** Modified Condition/Decision Coverage bookkeeping.
+
+    For each decision the collector retains the deduplicated set of
+    observed test vectors: each leaf condition's truth value ([None] when
+    short-circuit skipped it) plus the decision outcome.  A condition is
+    covered when an independence pair exists under the chosen pairing
+    {!mode}. *)
+
+type vector = { conds : (int * bool option) list; outcome : bool }
+
+type decision_log = { mutable vectors : vector list }
+
+type t = { logs : (int, decision_log) Hashtbl.t }
+
+val create : unit -> t
+
+val record :
+  t -> decision_eid:int -> conds:(int * bool option) list -> outcome:bool -> unit
+
+(** Pairing discipline:
+    [`Masking] — a short-circuit-masked condition agrees with anything
+    (the practical discipline for C's lazy operators);
+    [`Strict] — strict unique-cause: every other condition must carry the
+    identical recorded value, including maskedness. *)
+type mode = [ `Masking | `Strict ]
+
+val condition_covered : ?mode:mode -> decision_log -> int -> bool
+
+(** For an uncovered condition, a starting point for the missing test:
+    [(value to force the condition to, an observed base vector to
+    replicate)].  [None] when the decision never executed. *)
+val suggest_vector :
+  t -> decision_eid:int -> cond_id:int -> (bool * vector) option
+
+(** [(covered, total)] conditions for one decision. *)
+val decision_score :
+  ?mode:mode -> t -> decision_eid:int -> conditions:int list -> int * int

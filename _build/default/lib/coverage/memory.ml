@@ -1,0 +1,83 @@
+(** Block-based store for the interpreter.
+
+    Each allocation is an isolated block of cells; a pointer is a (block,
+    offset) pair.  Out-of-bounds and use-after-free accesses raise — the
+    interpreter turns them into runtime diagnostics, which is itself a
+    useful dynamic-analysis signal. *)
+
+exception Fault of string
+
+type space = Host | Device
+
+type t = {
+  blocks : (int, Value.t array) Hashtbl.t;
+  spaces : (int, space) Hashtbl.t;
+  mutable next_block : int;
+  mutable live_cells : int;
+  mutable peak_cells : int;
+}
+
+let create () =
+  { blocks = Hashtbl.create 256; spaces = Hashtbl.create 256; next_block = 1;
+    live_cells = 0; peak_cells = 0 }
+
+let alloc ?(space = Host) ?(init = Value.Vint 0L) t n =
+  if n < 0 then raise (Fault (Printf.sprintf "allocation of negative size %d" n));
+  let id = t.next_block in
+  t.next_block <- id + 1;
+  Hashtbl.replace t.blocks id (Array.make (Stdlib.max n 0) init);
+  Hashtbl.replace t.spaces id space;
+  t.live_cells <- t.live_cells + n;
+  t.peak_cells <- Stdlib.max t.peak_cells t.live_cells;
+  { Value.block = id; offset = 0 }
+
+let free t (p : Value.ptr) =
+  if p.Value.offset <> 0 then raise (Fault "free of interior pointer");
+  match Hashtbl.find_opt t.blocks p.Value.block with
+  | None -> raise (Fault "double free or invalid free")
+  | Some arr ->
+    t.live_cells <- t.live_cells - Array.length arr;
+    Hashtbl.remove t.blocks p.Value.block;
+    Hashtbl.remove t.spaces p.Value.block
+
+let block_size t (p : Value.ptr) =
+  match Hashtbl.find_opt t.blocks p.Value.block with
+  | None -> raise (Fault "size of freed block")
+  | Some arr -> Array.length arr
+
+let space_of t (p : Value.ptr) =
+  Option.value ~default:Host (Hashtbl.find_opt t.spaces p.Value.block)
+
+let load t (p : Value.ptr) =
+  match Hashtbl.find_opt t.blocks p.Value.block with
+  | None -> raise (Fault "load from freed block")
+  | Some arr ->
+    if p.Value.offset < 0 || p.Value.offset >= Array.length arr then
+      raise
+        (Fault
+           (Printf.sprintf "load out of bounds (offset %d, size %d)" p.Value.offset
+              (Array.length arr)))
+    else arr.(p.Value.offset)
+
+let store t (p : Value.ptr) v =
+  match Hashtbl.find_opt t.blocks p.Value.block with
+  | None -> raise (Fault "store to freed block")
+  | Some arr ->
+    if p.Value.offset < 0 || p.Value.offset >= Array.length arr then
+      raise
+        (Fault
+           (Printf.sprintf "store out of bounds (offset %d, size %d)" p.Value.offset
+              (Array.length arr)))
+    else arr.(p.Value.offset) <- v
+
+let shift (p : Value.ptr) n = { p with Value.offset = p.Value.offset + n }
+
+let copy t ~src ~dst n =
+  for i = 0 to n - 1 do
+    store t (shift dst i) (load t (shift src i))
+  done
+
+let fill t ~dst v n =
+  for i = 0 to n - 1 do
+    store t (shift dst i) v
+  done

@@ -1,0 +1,51 @@
+(** Runtime values of the interpreter.
+
+    The memory model is cell-addressed: every scalar occupies exactly one
+    cell and [sizeof] of a scalar type is 1.  C sources executed by this
+    interpreter must therefore size allocations in [n * sizeof(T)] form
+    (which well-formed C does anyway); the product then counts cells.
+    Structs are flattened: their size is the sum of their field sizes. *)
+
+type ptr = { block : int; offset : int }
+
+type t =
+  | Vint of int64
+  | Vfloat of float
+  | Vbool of bool
+  | Vstr of string
+  | Vptr of ptr
+  | Vnull
+  | Vvoid
+
+let to_string = function
+  | Vint v -> Int64.to_string v
+  | Vfloat v -> Printf.sprintf "%g" v
+  | Vbool b -> string_of_bool b
+  | Vstr s -> Printf.sprintf "%S" s
+  | Vptr p -> Printf.sprintf "<ptr %d+%d>" p.block p.offset
+  | Vnull -> "nullptr"
+  | Vvoid -> "void"
+
+let truthy = function
+  | Vint v -> v <> 0L
+  | Vfloat v -> v <> 0.0
+  | Vbool b -> b
+  | Vptr _ -> true
+  | Vstr _ -> true
+  | Vnull -> false
+  | Vvoid -> false
+
+let as_int = function
+  | Vint v -> v
+  | Vfloat v -> Int64.of_float v
+  | Vbool b -> if b then 1L else 0L
+  | Vnull -> 0L
+  | v -> invalid_arg (Printf.sprintf "expected integer value, got %s" (to_string v))
+
+let as_float = function
+  | Vint v -> Int64.to_float v
+  | Vfloat v -> v
+  | Vbool b -> if b then 1.0 else 0.0
+  | v -> invalid_arg (Printf.sprintf "expected float value, got %s" (to_string v))
+
+let is_float = function Vfloat _ -> true | _ -> false

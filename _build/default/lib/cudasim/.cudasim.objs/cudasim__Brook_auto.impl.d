@@ -1,0 +1,1 @@
+lib/cudasim/brook_auto.ml: Cfront Hashtbl List String

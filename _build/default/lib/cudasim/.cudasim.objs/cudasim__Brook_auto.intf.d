@@ -1,0 +1,1 @@
+lib/cudasim/brook_auto.mli: Cfront

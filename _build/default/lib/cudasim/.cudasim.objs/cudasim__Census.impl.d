@@ -1,0 +1,1 @@
+lib/cudasim/census.ml: Cfront List

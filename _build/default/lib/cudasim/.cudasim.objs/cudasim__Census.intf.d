@@ -1,0 +1,1 @@
+lib/cudasim/census.mli: Cfront

@@ -1,0 +1,1 @@
+lib/cudasim/runner.ml: Census Cfront Coverage List Result

@@ -1,0 +1,1 @@
+lib/cudasim/runner.mli: Census Cfront Coverage Result

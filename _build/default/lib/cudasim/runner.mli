@@ -1,0 +1,15 @@
+(** cuda4cpu-style execution: run CUDA translation units on the CPU under
+    coverage instrumentation — the paper's Section 3.3 methodology for
+    measuring GPU code coverage with CPU tooling. *)
+
+type result = {
+  exit_value : (Coverage.Value.t, string) Result.t;
+  output : string;  (** everything the program printed *)
+  files : Coverage.Collector.file_coverage list;  (** for [measured] paths *)
+  census : Census.t;  (** CUDA usage across all units *)
+}
+
+(** Parse-free entry point: execute the given units from [entry] and
+    score coverage for the files named in [measured]; other files (test
+    drivers) execute but are not scored. *)
+val run : ?entry:string -> measured:string list -> Cfront.Ast.tu list -> result

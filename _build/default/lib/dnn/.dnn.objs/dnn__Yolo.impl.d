@@ -1,0 +1,1 @@
+lib/dnn/yolo.ml: Layer List Util

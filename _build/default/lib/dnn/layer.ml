@@ -1,0 +1,60 @@
+(** Neural-network layer shapes.
+
+    Only the shape arithmetic matters here: the GPU performance model
+    consumes layer dimensions (lowered to GEMM/conv workloads), and the
+    corpus embeds a small runnable YOLO in C.  Shapes follow the
+    Darknet/YOLO convention: feature maps are C x H x W. *)
+
+type conv = {
+  in_c : int;
+  out_c : int;
+  ksize : int;
+  stride : int;
+  pad : int;
+  in_h : int;
+  in_w : int;
+  batch : int;
+}
+
+type maxpool = { mp_c : int; mp_size : int; mp_stride : int; mp_h : int; mp_w : int }
+
+type t =
+  | Conv of conv
+  | Maxpool of maxpool
+  | Region of { classes : int; anchors : int; side : int }
+
+let conv_out_h c = ((c.in_h + (2 * c.pad) - c.ksize) / c.stride) + 1
+let conv_out_w c = ((c.in_w + (2 * c.pad) - c.ksize) / c.stride) + 1
+
+(** im2col lowering of a convolution to GEMM:
+    M = out_c, K = in_c * k * k, N = out_h * out_w. *)
+let conv_gemm_dims c =
+  (c.out_c, c.in_c * c.ksize * c.ksize, conv_out_h c * conv_out_w c)
+
+let conv_flops c =
+  let m, k, n = conv_gemm_dims c in
+  2 * m * k * n * c.batch
+
+(** Bytes moved by the convolution assuming fp32 and a single pass
+    (input + weights + output), the roofline lower bound. *)
+let conv_bytes c =
+  let input = c.in_c * c.in_h * c.in_w in
+  let weights = c.out_c * c.in_c * c.ksize * c.ksize in
+  let output = c.out_c * conv_out_h c * conv_out_w c in
+  4 * c.batch * (input + output) + (4 * weights)
+
+let maxpool_out_h p = ((p.mp_h - p.mp_size) / p.mp_stride) + 1
+let maxpool_out_w p = ((p.mp_w - p.mp_size) / p.mp_stride) + 1
+
+let maxpool_flops p =
+  p.mp_c * maxpool_out_h p * maxpool_out_w p * p.mp_size * p.mp_size
+
+let name = function
+  | Conv c -> Printf.sprintf "conv%dx%d/%d %dx%dx%d->%d" c.ksize c.ksize c.stride c.in_c c.in_h c.in_w c.out_c
+  | Maxpool p -> Printf.sprintf "maxpool%d/%d %dx%dx%d" p.mp_size p.mp_stride p.mp_c p.mp_h p.mp_w
+  | Region r -> Printf.sprintf "region %d classes" r.classes
+
+let flops = function
+  | Conv c -> conv_flops c
+  | Maxpool p -> maxpool_flops p
+  | Region r -> r.side * r.side * r.anchors * (r.classes + 5) * 10

@@ -1,0 +1,68 @@
+(** The YOLOv2 network used by Apollo's camera object-detection pipeline
+    (Redmon et al., CVPR 2016; Darknet yolov2 config), at 416x416 input.
+
+    This layer stack drives the Figure 7 experiment: every convolution is
+    lowered to a GEMM/conv workload and timed under each library model. *)
+
+let conv ~in_c ~out_c ~ksize ~stride ~pad ~hw =
+  Layer.Conv
+    { Layer.in_c; out_c; ksize; stride; pad; in_h = hw; in_w = hw; batch = 1 }
+
+let maxpool ~c ~hw =
+  Layer.Maxpool { Layer.mp_c = c; mp_size = 2; mp_stride = 2; mp_h = hw; mp_w = hw }
+
+(** Full YOLOv2 (the Apollo perception backbone variant). *)
+let yolov2 =
+  [
+    conv ~in_c:3 ~out_c:32 ~ksize:3 ~stride:1 ~pad:1 ~hw:416;
+    maxpool ~c:32 ~hw:416;
+    conv ~in_c:32 ~out_c:64 ~ksize:3 ~stride:1 ~pad:1 ~hw:208;
+    maxpool ~c:64 ~hw:208;
+    conv ~in_c:64 ~out_c:128 ~ksize:3 ~stride:1 ~pad:1 ~hw:104;
+    conv ~in_c:128 ~out_c:64 ~ksize:1 ~stride:1 ~pad:0 ~hw:104;
+    conv ~in_c:64 ~out_c:128 ~ksize:3 ~stride:1 ~pad:1 ~hw:104;
+    maxpool ~c:128 ~hw:104;
+    conv ~in_c:128 ~out_c:256 ~ksize:3 ~stride:1 ~pad:1 ~hw:52;
+    conv ~in_c:256 ~out_c:128 ~ksize:1 ~stride:1 ~pad:0 ~hw:52;
+    conv ~in_c:128 ~out_c:256 ~ksize:3 ~stride:1 ~pad:1 ~hw:52;
+    maxpool ~c:256 ~hw:52;
+    conv ~in_c:256 ~out_c:512 ~ksize:3 ~stride:1 ~pad:1 ~hw:26;
+    conv ~in_c:512 ~out_c:256 ~ksize:1 ~stride:1 ~pad:0 ~hw:26;
+    conv ~in_c:256 ~out_c:512 ~ksize:3 ~stride:1 ~pad:1 ~hw:26;
+    conv ~in_c:512 ~out_c:256 ~ksize:1 ~stride:1 ~pad:0 ~hw:26;
+    conv ~in_c:256 ~out_c:512 ~ksize:3 ~stride:1 ~pad:1 ~hw:26;
+    maxpool ~c:512 ~hw:26;
+    conv ~in_c:512 ~out_c:1024 ~ksize:3 ~stride:1 ~pad:1 ~hw:13;
+    conv ~in_c:1024 ~out_c:512 ~ksize:1 ~stride:1 ~pad:0 ~hw:13;
+    conv ~in_c:512 ~out_c:1024 ~ksize:3 ~stride:1 ~pad:1 ~hw:13;
+    conv ~in_c:1024 ~out_c:512 ~ksize:1 ~stride:1 ~pad:0 ~hw:13;
+    conv ~in_c:512 ~out_c:1024 ~ksize:3 ~stride:1 ~pad:1 ~hw:13;
+    conv ~in_c:1024 ~out_c:1024 ~ksize:3 ~stride:1 ~pad:1 ~hw:13;
+    conv ~in_c:1024 ~out_c:1024 ~ksize:3 ~stride:1 ~pad:1 ~hw:13;
+    conv ~in_c:1024 ~out_c:425 ~ksize:1 ~stride:1 ~pad:0 ~hw:13;
+    Layer.Region { classes = 80; anchors = 5; side = 13 };
+  ]
+
+(** Tiny-YOLO variant (used for quick examples and tests). *)
+let tiny_yolo =
+  [
+    conv ~in_c:3 ~out_c:16 ~ksize:3 ~stride:1 ~pad:1 ~hw:416;
+    maxpool ~c:16 ~hw:416;
+    conv ~in_c:16 ~out_c:32 ~ksize:3 ~stride:1 ~pad:1 ~hw:208;
+    maxpool ~c:32 ~hw:208;
+    conv ~in_c:32 ~out_c:64 ~ksize:3 ~stride:1 ~pad:1 ~hw:104;
+    maxpool ~c:64 ~hw:104;
+    conv ~in_c:64 ~out_c:128 ~ksize:3 ~stride:1 ~pad:1 ~hw:52;
+    maxpool ~c:128 ~hw:52;
+    conv ~in_c:128 ~out_c:256 ~ksize:3 ~stride:1 ~pad:1 ~hw:26;
+    maxpool ~c:256 ~hw:26;
+    conv ~in_c:256 ~out_c:512 ~ksize:3 ~stride:1 ~pad:1 ~hw:13;
+    conv ~in_c:512 ~out_c:1024 ~ksize:3 ~stride:1 ~pad:1 ~hw:13;
+    conv ~in_c:1024 ~out_c:425 ~ksize:1 ~stride:1 ~pad:0 ~hw:13;
+    Layer.Region { classes = 80; anchors = 5; side = 13 };
+  ]
+
+let total_flops net = Util.Stats.sum_int (List.map Layer.flops net)
+
+let convs net =
+  List.filter_map (function Layer.Conv c -> Some c | _ -> None) net

@@ -1,0 +1,1 @@
+lib/gpuperf/ablation.ml: Device Dnn Library_model List Stdlib Suites Util Workload

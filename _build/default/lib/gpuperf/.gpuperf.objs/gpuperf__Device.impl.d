@@ -1,0 +1,1 @@
+lib/gpuperf/device.ml:

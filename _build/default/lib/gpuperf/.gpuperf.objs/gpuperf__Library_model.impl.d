@@ -1,0 +1,1 @@
+lib/gpuperf/library_model.ml: Device Dnn Hashtbl List Stdlib Util Workload

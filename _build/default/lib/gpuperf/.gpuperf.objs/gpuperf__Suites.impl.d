@@ -1,0 +1,1 @@
+lib/gpuperf/suites.ml: Dnn Library_model List Workload

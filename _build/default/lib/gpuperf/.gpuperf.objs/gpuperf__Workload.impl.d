@@ -1,0 +1,1 @@
+lib/gpuperf/workload.ml: Dnn Printf

@@ -1,0 +1,1 @@
+lib/gpuperf/workload.mli: Dnn

@@ -1,0 +1,1 @@
+lib/gpuperf/yolo_bench.ml: Device Dnn Library_model List Workload

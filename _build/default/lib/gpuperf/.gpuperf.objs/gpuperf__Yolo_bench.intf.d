@@ -1,0 +1,1 @@
+lib/gpuperf/yolo_bench.mli: Device Dnn Library_model

@@ -1,0 +1,114 @@
+(** Ablation variants of the library performance models.
+
+    Each variant removes one refinement the full model relies on, so the
+    benchmark harness can show what each modelling choice contributes to
+    the Figure 7/8 shapes:
+
+    - [cublas_single_tile]: cuBLAS restricted to one 128x128 kernel
+      (no kernel zoo) — shows why a tile menu is needed to track the
+      real library's behaviour on odd shapes;
+    - [cudnn_no_winograd]: disables the F(2x2,3x3) fast path — shows the
+      3x3/s1 advantage cuDNN holds over ISAAC disappears;
+    - [isaac_no_split_k]: removes the input-aware split-k depth choice —
+      the autotuner's edge on skinny detection-network shapes vanishes;
+    - [flat_roofline]: no quantization at all, a plain 90%-of-peak
+      roofline — every library collapses to the same curve, demonstrating
+      that quantization is what differentiates libraries in the model. *)
+
+open Library_model
+
+let cublas_single_tile device =
+  let time_ms w =
+    let dims = Workload.gemm_dims w in
+    let eff =
+      0.93 *. tile_efficiency ~tm:128 ~tn:128 ~k_half:20 ~sms:device.Device.sm_count dims
+    in
+    roofline ~device ~eff_compute:(Stdlib.max 0.05 eff) ~eff_mem:0.85 w
+    *. noise ~seed:(shape_seed "cublas" w) ~amplitude:0.02
+  in
+  { lib_name = "cuBLAS(single-tile)"; closed_source = true; device; time_ms }
+
+let cudnn_no_winograd device =
+  let time_ms w =
+    let dims = Workload.gemm_dims w in
+    let eff =
+      0.90 *. best_tile ~tiles:gemm_tile_menu ~k_half:22 ~sms:device.Device.sm_count dims
+    in
+    roofline ~device ~eff_compute:(Stdlib.max 0.05 eff) ~eff_mem:0.85 w
+    *. noise ~seed:(shape_seed "cudnn" w) ~amplitude:0.02
+  in
+  { lib_name = "cuDNN(no-winograd)"; closed_source = true; device; time_ms }
+
+let isaac_no_split_k device =
+  let time_ms w =
+    let dims = Workload.gemm_dims w in
+    let eff =
+      0.87 *. best_tile ~tiles:isaac_tiles ~k_half:22 ~sms:device.Device.sm_count dims
+    in
+    roofline ~device ~eff_compute:(Stdlib.max 0.05 eff) ~eff_mem:0.84 w
+    *. noise ~seed:(shape_seed "isaac" w) ~amplitude:0.04
+  in
+  { lib_name = "ISAAC(no-split-k)"; closed_source = false; device; time_ms }
+
+let flat_roofline ~name device =
+  let time_ms w =
+    roofline ~device ~eff_compute:0.9 ~eff_mem:0.85 w
+  in
+  { lib_name = name ^ "(flat)"; closed_source = false; device; time_ms }
+
+(** Geometric-mean relative performance of [lib] vs [baseline] over the
+    Figure 8 suites. *)
+let geomean_ratio ~suite lib baseline =
+  let ratios =
+    List.map
+      (fun w -> baseline.time_ms w /. lib.time_ms w)
+      suite
+  in
+  Util.Stats.geomean ratios
+
+let gemm_workloads () =
+  List.map (fun (c : Suites.gemm_case) -> Workload.Gemm c.Suites.g) Suites.gemm_suite
+
+let conv_workloads () =
+  List.map (fun (c : Suites.conv_case) -> Workload.Conv c.Suites.c) Suites.conv_suite
+
+type row = { label : string; fig8a_geomean : float option; fig8b_geomean : float option; yolo_ms : float }
+
+(** The ablation table: each row is one model variant; columns show its
+    effect on the Figure 8 geomeans (vs the *full* closed-source models)
+    and on the Figure 7 YOLO total. *)
+let run ~device =
+  let gemms = gemm_workloads () and convs = conv_workloads () in
+  let full_cublas = cublas device and full_cudnn = cudnn device in
+  let yolo lib = network_time_ms lib Dnn.Yolo.yolov2 in
+  [
+    { label = "CUTLASS vs cuBLAS (full model)";
+      fig8a_geomean = Some (geomean_ratio ~suite:gemms (cutlass device) full_cublas);
+      fig8b_geomean = None;
+      yolo_ms = yolo (cutlass device) };
+    { label = "CUTLASS vs cuBLAS single-tile";
+      fig8a_geomean =
+        Some (geomean_ratio ~suite:gemms (cutlass device) (cublas_single_tile device));
+      fig8b_geomean = None;
+      yolo_ms = yolo (cublas_single_tile device) };
+    { label = "ISAAC vs cuDNN (full model)";
+      fig8a_geomean = None;
+      fig8b_geomean = Some (geomean_ratio ~suite:convs (isaac device) full_cudnn);
+      yolo_ms = yolo (isaac device) };
+    { label = "ISAAC vs cuDNN no-winograd";
+      fig8a_geomean = None;
+      fig8b_geomean =
+        Some (geomean_ratio ~suite:convs (isaac device) (cudnn_no_winograd device));
+      yolo_ms = yolo (cudnn_no_winograd device) };
+    { label = "ISAAC no-split-k vs cuDNN";
+      fig8a_geomean = None;
+      fig8b_geomean =
+        Some (geomean_ratio ~suite:convs (isaac_no_split_k device) full_cudnn);
+      yolo_ms = yolo (isaac_no_split_k device) };
+    { label = "flat roofline (no quantization)";
+      fig8a_geomean =
+        Some (geomean_ratio ~suite:gemms (flat_roofline ~name:"open" device)
+                (flat_roofline ~name:"closed" device));
+      fig8b_geomean = None;
+      yolo_ms = yolo (flat_roofline ~name:"any" device) };
+  ]

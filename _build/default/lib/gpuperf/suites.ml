@@ -1,0 +1,78 @@
+(** Benchmark suites for Figures 8(a) and 8(b).
+
+    The GEMM set follows the DeepBench shapes commonly used to compare
+    GEMM libraries; the convolution set covers the application domains the
+    ISAAC paper evaluates (image classification, object detection, speech,
+    scientific stencil-like convs). *)
+
+type gemm_case = { g_label : string; g : Workload.gemm }
+
+let gemm_suite =
+  [
+    { g_label = "deepbench-train-5124x700x2048"; g = { Workload.m = 5124; n = 700; k = 2048 } };
+    { g_label = "deepbench-train-35x700x2048"; g = { Workload.m = 35; n = 700; k = 2048 } };
+    { g_label = "deepbench-train-3072x128x1024"; g = { Workload.m = 3072; n = 128; k = 1024 } };
+    { g_label = "deepbench-infer-5124x9124x2560"; g = { Workload.m = 5124; n = 9124; k = 2560 } };
+    { g_label = "deepbench-infer-512x8x500000"; g = { Workload.m = 512; n = 8; k = 500000 } };
+    { g_label = "square-1024"; g = { Workload.m = 1024; n = 1024; k = 1024 } };
+    { g_label = "square-4096"; g = { Workload.m = 4096; n = 4096; k = 4096 } };
+    { g_label = "yolo-conv18-gemm"; g = { Workload.m = 1024; n = 169; k = 4608 } };
+    { g_label = "yolo-conv1-gemm"; g = { Workload.m = 32; n = 173056; k = 27 } };
+    { g_label = "skinny-16x16384x1024"; g = { Workload.m = 16; n = 16384; k = 1024 } };
+    { g_label = "lstm-2048x64x2048"; g = { Workload.m = 2048; n = 64; k = 2048 } };
+    { g_label = "attention-512x512x64"; g = { Workload.m = 512; n = 512; k = 64 } };
+  ]
+
+type conv_case = { c_label : string; domain : string; c : Dnn.Layer.conv }
+
+let conv ~in_c ~out_c ~ksize ~stride ~pad ~hw ~batch =
+  { Dnn.Layer.in_c; out_c; ksize; stride; pad; in_h = hw; in_w = hw; batch }
+
+let conv_suite =
+  [
+    { c_label = "vgg-conv3.1"; domain = "classification";
+      c = conv ~in_c:128 ~out_c:256 ~ksize:3 ~stride:1 ~pad:1 ~hw:56 ~batch:1 };
+    { c_label = "vgg-conv5.1"; domain = "classification";
+      c = conv ~in_c:512 ~out_c:512 ~ksize:3 ~stride:1 ~pad:1 ~hw:14 ~batch:1 };
+    { c_label = "resnet-conv1"; domain = "classification";
+      c = conv ~in_c:3 ~out_c:64 ~ksize:7 ~stride:2 ~pad:3 ~hw:224 ~batch:1 };
+    { c_label = "resnet-bottleneck"; domain = "classification";
+      c = conv ~in_c:256 ~out_c:64 ~ksize:1 ~stride:1 ~pad:0 ~hw:56 ~batch:1 };
+    { c_label = "yolo-conv13"; domain = "detection";
+      c = conv ~in_c:512 ~out_c:1024 ~ksize:3 ~stride:1 ~pad:1 ~hw:13 ~batch:1 };
+    { c_label = "yolo-conv26"; domain = "detection";
+      c = conv ~in_c:256 ~out_c:512 ~ksize:3 ~stride:1 ~pad:1 ~hw:26 ~batch:1 };
+    { c_label = "ssd-conv38"; domain = "detection";
+      c = conv ~in_c:512 ~out_c:512 ~ksize:3 ~stride:1 ~pad:1 ~hw:38 ~batch:1 };
+    { c_label = "deepspeech-conv1"; domain = "speech";
+      c = conv ~in_c:1 ~out_c:32 ~ksize:5 ~stride:2 ~pad:2 ~hw:160 ~batch:4 };
+    { c_label = "deepspeech-conv2"; domain = "speech";
+      c = conv ~in_c:32 ~out_c:32 ~ksize:5 ~stride:1 ~pad:2 ~hw:80 ~batch:4 };
+    { c_label = "ocr-conv"; domain = "ocr";
+      c = conv ~in_c:64 ~out_c:128 ~ksize:3 ~stride:1 ~pad:1 ~hw:32 ~batch:8 };
+    { c_label = "segnet-conv"; domain = "segmentation";
+      c = conv ~in_c:64 ~out_c:64 ~ksize:3 ~stride:1 ~pad:1 ~hw:180 ~batch:1 };
+    { c_label = "stereo-conv"; domain = "depth";
+      c = conv ~in_c:32 ~out_c:32 ~ksize:5 ~stride:1 ~pad:2 ~hw:96 ~batch:1 };
+  ]
+
+(** Relative performance of [lib] vs [baseline] on a workload: >1 means
+    [lib] is faster. *)
+let relative lib baseline w =
+  baseline.Library_model.time_ms w /. lib.Library_model.time_ms w
+
+let gemm_comparison ~device =
+  let open Library_model in
+  let cutlass = cutlass device and cublas = cublas device in
+  List.map
+    (fun case ->
+      (case.g_label, relative cutlass cublas (Workload.Gemm case.g)))
+    gemm_suite
+
+let conv_comparison ~device =
+  let open Library_model in
+  let isaac = isaac device and cudnn = cudnn device in
+  List.map
+    (fun case ->
+      (case.c_label, case.domain, relative isaac cudnn (Workload.Conv case.c)))
+    conv_suite

@@ -1,0 +1,1 @@
+lib/iso26262/asil.mli:

@@ -1,0 +1,1 @@
+lib/iso26262/assess.ml: Asil Guidelines List Metrics Misra Printf Project_metrics Stdlib Util

@@ -1,0 +1,1 @@
+lib/iso26262/assess.mli: Asil Guidelines Project_metrics

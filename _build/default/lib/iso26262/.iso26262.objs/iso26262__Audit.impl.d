@@ -1,0 +1,1 @@
+lib/iso26262/audit.ml: Assess Buffer Cfront Corpus Coverage Cudasim List Observations Project_metrics Report

@@ -1,0 +1,1 @@
+lib/iso26262/audit.mli: Assess Cfront Corpus Coverage Observations Project_metrics

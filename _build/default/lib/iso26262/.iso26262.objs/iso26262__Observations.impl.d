@@ -1,0 +1,1 @@
+lib/iso26262/observations.ml: Coverage Cudasim List Metrics Misra Printf Project_metrics Stdlib

@@ -1,0 +1,1 @@
+lib/iso26262/observations.mli: Coverage Project_metrics

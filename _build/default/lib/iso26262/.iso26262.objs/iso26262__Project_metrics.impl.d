@@ -1,0 +1,1 @@
+lib/iso26262/project_metrics.ml: Cfront Cudasim List Metrics Misra Util

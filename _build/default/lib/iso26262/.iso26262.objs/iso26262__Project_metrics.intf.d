@@ -1,0 +1,1 @@
+lib/iso26262/project_metrics.mli: Cfront Cudasim Metrics Misra

@@ -1,0 +1,1 @@
+lib/iso26262/report.ml: Asil Assess Buffer Coverage Guidelines List Metrics Observations Printf Project_metrics Util

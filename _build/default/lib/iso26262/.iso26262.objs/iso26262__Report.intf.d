@@ -1,0 +1,1 @@
+lib/iso26262/report.mli: Assess Coverage Observations Project_metrics Util

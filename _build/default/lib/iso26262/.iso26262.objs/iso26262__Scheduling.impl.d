@@ -1,0 +1,1 @@
+lib/iso26262/scheduling.ml: List Option Printf Util

@@ -1,0 +1,1 @@
+lib/iso26262/traceability.ml: Asil Assess Guidelines List Printf Project_metrics String Util

@@ -1,0 +1,1 @@
+lib/iso26262/traceability.mli: Asil Assess Guidelines Project_metrics

@@ -1,0 +1,48 @@
+(** Automotive Safety Integrity Levels and ISO 26262 recommendation
+    strength.
+
+    ISO 26262 grades each method/guideline per ASIL with:
+    [++] highly recommended, [+] recommended, [o] no recommendation.
+    The paper targets ASIL-D for the whole AD pipeline, since every module
+    affects car motion. *)
+
+type t = A | B | C | D
+
+let all = [ A; B; C; D ]
+
+let to_string = function A -> "A" | B -> "B" | C -> "C" | D -> "D"
+
+let of_string = function
+  | "A" | "a" -> Some A
+  | "B" | "b" -> Some B
+  | "C" | "c" -> Some C
+  | "D" | "d" -> Some D
+  | _ -> None
+
+type recommendation =
+  | No_recommendation  (** o *)
+  | Recommended  (** + *)
+  | Highly_recommended  (** ++ *)
+
+let rec_to_string = function
+  | No_recommendation -> "o"
+  | Recommended -> "+"
+  | Highly_recommended -> "++"
+
+(** Shorthand used by the guideline tables. *)
+let o = No_recommendation
+let p = Recommended
+let pp = Highly_recommended
+
+type rec_matrix = {
+  a : recommendation;
+  b : recommendation;
+  c : recommendation;
+  d : recommendation;
+}
+
+let for_asil m = function A -> m.a | B -> m.b | C -> m.c | D -> m.d
+
+(** Is the guideline binding at this ASIL?  We treat both [+] and [++] as
+    binding for assessment purposes, matching the paper's reading. *)
+let binding m asil = for_asil m asil <> No_recommendation

@@ -1,0 +1,44 @@
+(** Automotive Safety Integrity Levels (ASIL) and ISO 26262
+    recommendation strength.
+
+    ISO 26262 grades each method or guideline per ASIL with [++] (highly
+    recommended), [+] (recommended) or [o] (no recommendation).  The paper
+    targets ASIL-D for the whole AD pipeline since every module affects
+    car motion. *)
+
+(** The four integrity levels, A (lowest) to D (highest). *)
+type t = A | B | C | D
+
+(** All levels in ascending criticality. *)
+val all : t list
+
+val to_string : t -> string
+val of_string : string -> t option
+
+(** Recommendation strength of a guideline at one ASIL. *)
+type recommendation =
+  | No_recommendation  (** printed [o] *)
+  | Recommended  (** printed [+] *)
+  | Highly_recommended  (** printed [++] *)
+
+val rec_to_string : recommendation -> string
+
+(** Table-building shorthands: [o], [p], [pp] for the three strengths. *)
+val o : recommendation
+
+val p : recommendation
+val pp : recommendation
+
+(** A guideline's recommendation across the four ASILs. *)
+type rec_matrix = {
+  a : recommendation;
+  b : recommendation;
+  c : recommendation;
+  d : recommendation;
+}
+
+val for_asil : rec_matrix -> t -> recommendation
+
+(** [binding m asil] is true when the guideline carries [+] or [++] at
+    [asil] — the reading under which the paper assesses adherence. *)
+val binding : rec_matrix -> t -> bool

@@ -1,0 +1,245 @@
+(** Guideline assessment: maps measured project metrics to a verdict for
+    every topic of the three ISO 26262-6 tables, with the measured number
+    as evidence.
+
+    Thresholds are explicit and overridable; the defaults encode the
+    judgement calls the paper makes (e.g. style "very well achieved" means
+    a violation density below one per kLOC, while 554 functions above
+    complexity 10 mean the low-complexity guideline fails). *)
+
+type verdict = Pass | Partial | Fail | Not_applicable
+
+let verdict_name = function
+  | Pass -> "PASS"
+  | Partial -> "PARTIAL"
+  | Fail -> "FAIL"
+  | Not_applicable -> "N/A"
+
+type finding = {
+  topic : Guidelines.topic;
+  verdict : verdict;
+  evidence : string;
+  measured : float option;
+}
+
+type thresholds = {
+  max_over10_functions : int;  (** low-complexity guideline *)
+  max_casts_per_kloc : float;
+  min_param_validation : float;
+  max_globals_per_kloc : float;
+  max_style_per_kloc : float;
+  max_naming_violations : int;
+  max_component_loc : int;
+  max_interface_functions : int;
+  min_cohesion : float;
+  max_fan_out : int;
+  max_multi_exit_frac : float;
+  max_dyn_alloc_sites : int;
+  max_uninit : int;
+  max_shadowing : int;
+  max_gotos : int;
+  max_recursions : int;
+  max_implicit_conversions : int;
+}
+
+let default_thresholds =
+  {
+    max_over10_functions = 0;
+    max_casts_per_kloc = 0.5;
+    min_param_validation = 0.9;
+    max_globals_per_kloc = 0.2;
+    max_style_per_kloc = 1.0;
+    max_naming_violations = 20;
+    max_component_loc = 10_000;
+    max_interface_functions = 100;
+    min_cohesion = 0.7;
+    max_fan_out = 3;
+    max_multi_exit_frac = 0.02;
+    max_dyn_alloc_sites = 0;
+    max_uninit = 0;
+    max_shadowing = 0;
+    max_gotos = 0;
+    max_recursions = 0;
+    max_implicit_conversions = 0;
+  }
+
+let mk topic verdict measured fmt =
+  Printf.ksprintf (fun evidence -> { topic; verdict; evidence; measured }) fmt
+
+let topic table index =
+  match Guidelines.find ~table ~index with
+  | Some t -> t
+  | None -> invalid_arg "unknown guideline topic"
+
+let kloc (m : Project_metrics.t) = float_of_int m.Project_metrics.total_loc /. 1000.0
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: modeling and coding guidelines                              *)
+(* ------------------------------------------------------------------ *)
+
+let assess_coding ?(th = default_thresholds) (m : Project_metrics.t) =
+  let open Project_metrics in
+  [
+    (let v = if m.over10 > th.max_over10_functions then Fail else Pass in
+     mk (topic Guidelines.Coding 1) v (Some (float_of_int m.over10))
+       "%d functions with cyclomatic complexity >10 (%d >20, %d >50) across %d functions"
+       m.over10 m.over20 m.over50 m.total_functions);
+    (let violations = m.misra.Misra.Registry.total_violations in
+     let v = if violations > 0 then Fail else Pass in
+     mk (topic Guidelines.Coding 2) v (Some (float_of_int violations))
+       "%d MISRA-subset violations over %d rules (%d rules broken); no GPU language subset exists"
+       violations m.misra.Misra.Registry.rules_checked
+       m.misra.Misra.Registry.rules_violated);
+    (let per_kloc = float_of_int m.explicit_casts /. kloc m in
+     let v = if per_kloc > th.max_casts_per_kloc then Fail else Pass in
+     mk (topic Guidelines.Coding 3) v (Some (float_of_int m.explicit_casts))
+       "%d explicit casts (%.1f per kLOC), %d implicit conversions" m.explicit_casts
+       per_kloc m.implicit_conversions);
+    (let v =
+       if m.param_validation_ratio >= th.min_param_validation then Pass
+       else if m.param_validation_ratio >= 0.3 then Partial
+       else Fail
+     in
+     mk (topic Guidelines.Coding 4) v (Some m.param_validation_ratio)
+       "%.0f%% of pointer parameters validated; %d call sites discard return values; %d assertions"
+       (100.0 *. m.param_validation_ratio)
+       m.ignored_returns m.assertions);
+    (let per_kloc = float_of_int m.globals_total /. kloc m in
+     let v = if per_kloc > th.max_globals_per_kloc then Fail else Pass in
+     mk (topic Guidelines.Coding 5) v (Some (float_of_int m.globals_total))
+       "%d mutable global variables (%.1f per kLOC)" m.globals_total per_kloc);
+    mk (topic Guidelines.Coding 6) Not_applicable None
+      "code is C/C++/CUDA; graphical modeling notation is not used";
+    (let v = if m.style_per_kloc <= th.max_style_per_kloc then Pass else Fail in
+     mk (topic Guidelines.Coding 7) v (Some m.style_per_kloc)
+       "%d style findings, %.2f per kLOC (Google C++ style)" m.style_findings
+       m.style_per_kloc);
+    (let v = if m.naming_violations <= th.max_naming_violations then Pass else Fail in
+     mk (topic Guidelines.Coding 8) v (Some (float_of_int m.naming_violations))
+       "%d naming-convention violations" m.naming_violations);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 of the paper: architectural design                           *)
+(* ------------------------------------------------------------------ *)
+
+let assess_architecture ?(th = default_thresholds) (m : Project_metrics.t) =
+  let open Project_metrics in
+  let comps = m.architecture in
+  let oversized =
+    List.filter (fun c -> c.Metrics.Architecture.loc > th.max_component_loc) comps
+  in
+  let big_interfaces =
+    List.filter
+      (fun c -> c.Metrics.Architecture.interface_size > th.max_interface_functions)
+      comps
+  in
+  let mean_cohesion =
+    Util.Stats.mean (List.map (fun c -> c.Metrics.Architecture.cohesion) comps)
+  in
+  let max_fan_out =
+    List.fold_left (fun acc c -> Stdlib.max acc c.Metrics.Architecture.fan_out) 0 comps
+  in
+  let interrupts = List.filter (fun c -> c.Metrics.Architecture.uses_interrupts) comps in
+  let threads = List.filter (fun c -> c.Metrics.Architecture.uses_threads) comps in
+  [
+    (let v = if m.namespace_depth >= 2 && List.length comps > 1 then Pass else Partial in
+     mk (topic Guidelines.Architecture 1) v (Some (float_of_int m.namespace_depth))
+       "%d components, namespace nesting depth %d" (List.length comps)
+       m.namespace_depth);
+    (let v = if oversized = [] then Pass else Fail in
+     mk (topic Guidelines.Architecture 2) v (Some (float_of_int (List.length oversized)))
+       "%d of %d components exceed %d LOC (largest %d LOC)" (List.length oversized)
+       (List.length comps) th.max_component_loc
+       (List.fold_left (fun a c -> Stdlib.max a c.Metrics.Architecture.loc) 0 comps));
+    (let v = if big_interfaces = [] then Pass else Fail in
+     mk (topic Guidelines.Architecture 3) v
+       (Some (float_of_int (List.length big_interfaces)))
+       "%d components export more than %d functions" (List.length big_interfaces)
+       th.max_interface_functions);
+    (let v = if mean_cohesion >= th.min_cohesion then Pass else Partial in
+     mk (topic Guidelines.Architecture 4) v (Some mean_cohesion)
+       "mean intra-component call cohesion %.2f" mean_cohesion);
+    (let v = if max_fan_out <= th.max_fan_out then Pass else Partial in
+     mk (topic Guidelines.Architecture 5) v (Some (float_of_int max_fan_out))
+       "maximum component fan-out %d" max_fan_out);
+    (let v = if threads = [] then Pass else Fail in
+     mk (topic Guidelines.Architecture 6) v (Some (float_of_int (List.length threads)))
+       "%d components spawn threads with no WCET/deadline annotations"
+       (List.length threads));
+    (let v = if interrupts = [] then Pass else Fail in
+     mk (topic Guidelines.Architecture 7) v (Some (float_of_int (List.length interrupts)))
+       "%d components install interrupt/signal handlers" (List.length interrupts));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 of the paper: unit design and implementation                 *)
+(* ------------------------------------------------------------------ *)
+
+let assess_unit_design ?(th = default_thresholds) (m : Project_metrics.t) =
+  let open Project_metrics in
+  [
+    (let v = if m.multi_exit_frac > th.max_multi_exit_frac then Fail else Pass in
+     mk (topic Guidelines.Unit_design 1) v (Some m.multi_exit_frac)
+       "%.0f%% of functions have several exit points" (100.0 *. m.multi_exit_frac));
+    (let v = if m.dyn_alloc_sites > th.max_dyn_alloc_sites then Fail else Pass in
+     mk (topic Guidelines.Unit_design 2) v (Some (float_of_int m.dyn_alloc_sites))
+       "%d dynamic allocation sites (malloc/new/cudaMalloc)" m.dyn_alloc_sites);
+    (let n = List.length m.uninit_findings in
+     let v = if n > th.max_uninit then Fail else Pass in
+     mk (topic Guidelines.Unit_design 3) v (Some (float_of_int n))
+       "%d variables possibly read before initialization" n);
+    (let v = if m.shadowing_count + m.duplicate_globals > th.max_shadowing then Fail else Pass in
+     mk (topic Guidelines.Unit_design 4) v
+       (Some (float_of_int (m.shadowing_count + m.duplicate_globals)))
+       "%d shadowing declarations, %d globals redefined across units"
+       m.shadowing_count m.duplicate_globals);
+    (let v = if m.globals_total > 0 then Fail else Pass in
+     let perception =
+       match find_module m "perception" with
+       | Some pm -> pm.globals
+       | None -> 0
+     in
+     mk (topic Guidelines.Unit_design 5) v (Some (float_of_int m.globals_total))
+       "%d mutable globals (%d in perception alone); standard permits only justified usage"
+       m.globals_total perception);
+    (let u = m.pointer_usage in
+     let total_ptr = u.Metrics.Pointers.ptr_params + u.Metrics.Pointers.ptr_locals in
+     let v = if total_ptr > 0 then Fail else Pass in
+     mk (topic Guidelines.Unit_design 6) v (Some (float_of_int total_ptr))
+       "%d pointer parameters, %d pointer locals, %d dereference sites"
+       u.Metrics.Pointers.ptr_params u.Metrics.Pointers.ptr_locals
+       u.Metrics.Pointers.derefs);
+    (let v = if m.implicit_conversions > th.max_implicit_conversions then Fail else Pass in
+     mk (topic Guidelines.Unit_design 7) v (Some (float_of_int m.implicit_conversions))
+       "%d implicit int/float conversions detected" m.implicit_conversions);
+    (let hidden = m.gotos_total + m.duplicate_globals in
+     let v = if hidden > 0 then Partial else Pass in
+     mk (topic Guidelines.Unit_design 8) v (Some (float_of_int hidden))
+       "hidden flow proxies: %d gotos, %d cross-unit global redefinitions"
+       m.gotos_total m.duplicate_globals);
+    (let v = if m.gotos_total > th.max_gotos then Fail else Pass in
+     mk (topic Guidelines.Unit_design 9) v (Some (float_of_int m.gotos_total))
+       "%d goto statements" m.gotos_total);
+    (let n = List.length m.recursive_functions in
+     let v = if n > th.max_recursions then Fail else Pass in
+     mk (topic Guidelines.Unit_design 10) v (Some (float_of_int n))
+       "%d recursive functions (e.g. %s)" n
+       (match m.recursive_functions with f :: _ -> f | [] -> "none"));
+  ]
+
+let assess_all ?(th = default_thresholds) m =
+  assess_coding ~th m @ assess_architecture ~th m @ assess_unit_design ~th m
+
+(** Compliance summary at one ASIL: a finding counts against compliance
+    only when the guideline is binding ([+] or [++]) at that ASIL. *)
+let compliance_at ~asil findings =
+  let binding =
+    List.filter
+      (fun f ->
+        Asil.binding f.topic.Guidelines.recs asil && f.verdict <> Not_applicable)
+      findings
+  in
+  let passed = List.filter (fun f -> f.verdict = Pass) binding in
+  ( List.length passed,
+    List.length binding )

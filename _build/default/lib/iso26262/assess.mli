@@ -1,0 +1,59 @@
+(** Guideline assessment: measured project metrics to per-topic verdicts.
+
+    Thresholds are explicit and overridable; the defaults encode the
+    judgement calls the paper makes (style "very well achieved" means
+    below one finding per kLOC; 554 functions over complexity 10 mean the
+    low-complexity guideline fails). *)
+
+type verdict = Pass | Partial | Fail | Not_applicable
+
+val verdict_name : verdict -> string
+
+(** One assessed guideline: the topic, the verdict, a human-readable
+    evidence sentence quoting the measured numbers, and the headline
+    metric when one exists. *)
+type finding = {
+  topic : Guidelines.topic;
+  verdict : verdict;
+  evidence : string;
+  measured : float option;
+}
+
+type thresholds = {
+  max_over10_functions : int;
+  max_casts_per_kloc : float;
+  min_param_validation : float;
+  max_globals_per_kloc : float;
+  max_style_per_kloc : float;
+  max_naming_violations : int;
+  max_component_loc : int;
+  max_interface_functions : int;
+  min_cohesion : float;
+  max_fan_out : int;
+  max_multi_exit_frac : float;
+  max_dyn_alloc_sites : int;
+  max_uninit : int;
+  max_shadowing : int;
+  max_gotos : int;
+  max_recursions : int;
+  max_implicit_conversions : int;
+}
+
+val default_thresholds : thresholds
+
+(** Assess the paper's Table 1 (modeling and coding guidelines). *)
+val assess_coding : ?th:thresholds -> Project_metrics.t -> finding list
+
+(** Assess the paper's Table 2 (architectural design). *)
+val assess_architecture : ?th:thresholds -> Project_metrics.t -> finding list
+
+(** Assess the paper's Table 3 (unit design and implementation). *)
+val assess_unit_design : ?th:thresholds -> Project_metrics.t -> finding list
+
+(** All 25 topics, in table order. *)
+val assess_all : ?th:thresholds -> Project_metrics.t -> finding list
+
+(** [compliance_at ~asil findings] is [(passed, binding)]: how many
+    guidelines binding ([+]/[++]) at [asil] pass, out of how many bind.
+    [Not_applicable] findings are excluded from both counts. *)
+val compliance_at : asil:Asil.t -> finding list -> int * int

@@ -1,0 +1,98 @@
+(** End-to-end audit pipeline: generate (or accept) a project, extract
+    metrics, run the coverage experiments, and assess every guideline.
+
+    This is the library's top-level entry point — the CLI, the examples
+    and the benchmark harness are thin wrappers over [run]. *)
+
+type t = {
+  parsed : Cfront.Project.parsed;
+  metrics : Project_metrics.t;
+  coding : Assess.finding list;
+  architecture : Assess.finding list;
+  unit_design : Assess.finding list;
+  yolo_coverage : Coverage.Collector.file_coverage list;
+  yolo_run_output : string;
+  stencil_coverage : Coverage.Collector.file_coverage list;
+  observations : Observations.t list;
+}
+
+let run_yolo_coverage () =
+  let tus = Corpus.Yolo_src.parse_all () in
+  let measured = List.map fst Corpus.Yolo_src.measured_files in
+  let result = Cudasim.Runner.run ~entry:Corpus.Yolo_src.entry ~measured tus in
+  (result.Cudasim.Runner.files, result.Cudasim.Runner.output,
+   result.Cudasim.Runner.exit_value)
+
+let run_stencil_coverage () =
+  let tus = Corpus.Stencil_src.parse_all () in
+  let measured = List.map fst Corpus.Stencil_src.measured_files in
+  let result = Cudasim.Runner.run ~entry:Corpus.Stencil_src.entry ~measured tus in
+  (result.Cudasim.Runner.files, result.Cudasim.Runner.exit_value)
+
+(** [run ()] audits the default full-scale Apollo-profile corpus.
+
+    [open_vs_closed] supplies the open/closed library performance ratios
+    for Observation 12 (computed by the [gpuperf] library; passing them in
+    keeps this library independent of the performance model). *)
+let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
+    ?(thresholds = Assess.default_thresholds) ?(open_vs_closed = []) () =
+  let project = Corpus.Generator.generate ~seed specs in
+  let parsed = Cfront.Project.parse project in
+  let metrics = Project_metrics.of_parsed parsed in
+  let yolo_coverage, yolo_run_output, yolo_exit = run_yolo_coverage () in
+  (match yolo_exit with
+   | Ok _ -> ()
+   | Error e -> failwith ("YOLO coverage scenario failed: " ^ e));
+  let stencil_coverage, stencil_exit = run_stencil_coverage () in
+  (match stencil_exit with
+   | Ok _ -> ()
+   | Error e -> failwith ("stencil coverage scenario failed: " ^ e));
+  {
+    parsed;
+    metrics;
+    coding = Assess.assess_coding ~th:thresholds metrics;
+    architecture = Assess.assess_architecture ~th:thresholds metrics;
+    unit_design = Assess.assess_unit_design ~th:thresholds metrics;
+    yolo_coverage;
+    yolo_run_output;
+    stencil_coverage;
+    observations =
+      Observations.of_metrics metrics ~yolo_coverage ~stencil_coverage
+        ~open_vs_closed;
+  }
+
+let all_findings audit = audit.coding @ audit.architecture @ audit.unit_design
+
+(** Render the complete audit as the paper's sequence of artifacts. *)
+let render audit =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Report.render_module_summaries audit.metrics);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Report.render_findings
+       ~title:"Paper Table 1: modeling and coding guidelines (ISO 26262-6 Table 1)"
+       audit.coding);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Report.render_findings
+       ~title:"Paper Table 2: architectural design (ISO 26262-6 Table 3)"
+       audit.architecture);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Report.render_findings
+       ~title:"Paper Table 3: unit design and implementation (ISO 26262-6 Table 8)"
+       audit.unit_design);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Report.render_coverage ~title:"Figure 5: object detection (YOLO) coverage"
+       audit.yolo_coverage);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Report.render_coverage
+       ~title:"Figure 6: CUDA stencils run on CPU (cuda4cpu) coverage"
+       audit.stencil_coverage);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Report.render_observations audit.observations);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Report.render_compliance (all_findings audit));
+  Buffer.contents buf

@@ -1,0 +1,104 @@
+(** Remediation planning: from verdicts to an effort-classified backlog.
+
+    The paper's conclusion distinguishes gaps fixable "with limited
+    software engineering effort" from those that "require research
+    innovations".  This module encodes that classification per guideline
+    and produces the ordered plan a project would execute, with the
+    affected-entity counts that size each work item. *)
+
+type effort =
+  | Limited_effort  (** mechanical code changes; the paper's "moderate effort" *)
+  | Major_refactor  (** redesign of components or algorithms *)
+  | Research_needed  (** no engineering path exists today (GPU language gaps) *)
+
+let effort_name = function
+  | Limited_effort -> "limited engineering effort"
+  | Major_refactor -> "major redesign/refactor"
+  | Research_needed -> "research needed"
+
+(* The paper's own judgement, per guideline topic. *)
+let effort_of_topic (t : Guidelines.topic) =
+  match (t.Guidelines.table, t.Guidelines.index) with
+  (* Observation 1/13: complexity and component restructuring are deep *)
+  | Guidelines.Coding, 1 -> Major_refactor
+  | Guidelines.Architecture, 2 -> Major_refactor
+  (* Observations 3-4: GPU language subset and pointer/dynamic-memory in
+     CUDA need research (Brook Auto direction) *)
+  | Guidelines.Coding, 2 -> Research_needed
+  | Guidelines.Unit_design, 2 | Guidelines.Unit_design, 6 -> Research_needed
+  (* scheduling evidence needs WCETs, blocked on complexity *)
+  | Guidelines.Architecture, 6 -> Major_refactor
+  (* everything else: Observations 2, 6, 7, 14 — "limited effort" *)
+  | _ -> Limited_effort
+
+type work_item = {
+  finding : Assess.finding;
+  effort : effort;
+  affected : int;  (** entities to touch, from the finding's metric *)
+}
+
+type plan = {
+  items : work_item list;  (** failing/partial findings, easiest first *)
+  by_effort : (effort * int) list;
+  total_affected : int;
+}
+
+let effort_rank = function
+  | Limited_effort -> 0
+  | Major_refactor -> 1
+  | Research_needed -> 2
+
+let build (findings : Assess.finding list) =
+  let items =
+    findings
+    |> List.filter (fun (f : Assess.finding) ->
+           f.Assess.verdict = Assess.Fail || f.Assess.verdict = Assess.Partial)
+    |> List.map (fun (f : Assess.finding) ->
+           {
+             finding = f;
+             effort = effort_of_topic f.Assess.topic;
+             affected =
+               (match f.Assess.measured with
+                | Some m when m >= 1.0 -> int_of_float m
+                | Some m -> int_of_float (m *. 100.0)  (* ratios as percents *)
+                | None -> 0);
+           })
+    |> List.stable_sort (fun a b ->
+           compare
+             (effort_rank a.effort, -a.affected)
+             (effort_rank b.effort, -b.affected))
+  in
+  let by_effort =
+    List.map
+      (fun e ->
+        (e, List.length (List.filter (fun i -> i.effort = e) items)))
+      [ Limited_effort; Major_refactor; Research_needed ]
+  in
+  {
+    items;
+    by_effort;
+    total_affected = Util.Stats.sum_int (List.map (fun i -> i.affected) items);
+  }
+
+let render plan =
+  let tbl =
+    Util.Table.make ~title:"Remediation plan (easiest class first, largest items first)"
+      ~header:[ "effort class"; "guideline"; "affected"; "evidence" ]
+      ~aligns:[ Util.Table.Left; Util.Table.Left; Util.Table.Right; Util.Table.Left ]
+      ()
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl item ->
+        Util.Table.add_row tbl
+          [ effort_name item.effort;
+            item.finding.Assess.topic.Guidelines.title;
+            string_of_int item.affected;
+            item.finding.Assess.evidence ])
+      tbl plan.items
+  in
+  Util.Table.render tbl
+  ^ String.concat ""
+      (List.map
+         (fun (e, n) -> Printf.sprintf "%-28s %d items\n" (effort_name e) n)
+         plan.by_effort)

@@ -1,0 +1,31 @@
+(** Remediation planning: from verdicts to an effort-classified backlog,
+    using the paper's own classification of which gaps need "limited
+    software engineering effort", deep redesign, or "research
+    innovations" (the GPU language gaps). *)
+
+type effort =
+  | Limited_effort
+  | Major_refactor
+  | Research_needed
+
+val effort_name : effort -> string
+
+(** The paper's judgement per guideline topic (e.g. complexity reduction
+    is a major refactor; CUDA pointer/dynamic-memory gaps need research). *)
+val effort_of_topic : Guidelines.topic -> effort
+
+type work_item = {
+  finding : Assess.finding;
+  effort : effort;
+  affected : int;  (** entities to touch, from the finding's metric *)
+}
+
+type plan = {
+  items : work_item list;  (** failing/partial findings, easiest class first *)
+  by_effort : (effort * int) list;
+  total_affected : int;
+}
+
+val effort_rank : effort -> int
+val build : Assess.finding list -> plan
+val render : plan -> string

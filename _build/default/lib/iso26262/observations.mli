@@ -1,0 +1,24 @@
+(** The paper's fourteen numbered observations, regenerated from measured
+    data with scale-independent (density-based) criteria so they hold on
+    reduced-scale corpora too. *)
+
+type t = {
+  number : int;  (** 1..14 *)
+  statement : string;  (** the paper's wording, abbreviated *)
+  evidence : string;  (** this run's measured support *)
+  holds : bool;  (** does the measurement support the observation? *)
+}
+
+(** Build all fourteen observations.  [yolo_coverage] and
+    [stencil_coverage] come from the Figure 5/6 runs; [open_vs_closed]
+    supplies the per-workload open/closed library performance ratios for
+    Observation 12 (label, ratio where >1 means the open library is
+    faster). *)
+val of_metrics :
+  Project_metrics.t ->
+  yolo_coverage:Coverage.Collector.file_coverage list ->
+  stencil_coverage:Coverage.Collector.file_coverage list ->
+  open_vs_closed:(string * float) list ->
+  t list
+
+val all_hold : t list -> bool

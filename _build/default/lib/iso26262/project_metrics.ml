@@ -1,0 +1,113 @@
+(** One-pass metric extraction over a parsed project.
+
+    Everything the assessment, the observations, and the benchmark
+    harness need is computed here once; individual consumers then read
+    fields instead of re-walking 220k LOC of ASTs. *)
+
+type module_metrics = {
+  modname : string;
+  complexity : Metrics.Complexity.module_summary;
+  loc : Metrics.Loc_metrics.counts;
+  globals : int;
+  multi_exit_frac : float;
+  gotos : int;
+}
+
+type t = {
+  modules : module_metrics list;
+  total_loc : int;
+  total_functions : int;
+  over10 : int;
+  over20 : int;
+  over50 : int;
+  explicit_casts : int;
+  implicit_conversions : int;
+  globals_total : int;
+  uninit_findings : Metrics.Uninit.finding list;
+  shadowing_count : int;
+  duplicate_globals : int;
+  gotos_total : int;
+  recursive_functions : string list;
+  dyn_alloc_sites : int;
+  pointer_usage : Metrics.Pointers.usage;
+  multi_exit_frac : float;
+  param_validation_ratio : float;
+  ignored_returns : int;
+  assertions : int;
+  style_findings : int;
+  style_per_kloc : float;
+  naming_violations : int;
+  architecture : Metrics.Architecture.component list;
+  namespace_depth : int;
+  cuda : Cudasim.Census.t;
+  misra : Misra.Registry.report;
+}
+
+let of_parsed (parsed : Cfront.Project.parsed) =
+  let module_names = Cfront.Project.module_names parsed.Cfront.Project.project in
+  let per_module =
+    List.map
+      (fun m ->
+        let pfs = Cfront.Project.parsed_files_of_module parsed m in
+        let fns = Cfront.Project.defined_functions pfs in
+        let loc = Metrics.Loc_metrics.of_files pfs in
+        {
+          modname = m;
+          complexity =
+            Metrics.Complexity.summarize ~modname:m
+              ~loc:loc.Metrics.Loc_metrics.physical fns;
+          loc;
+          globals = List.length (Metrics.Globals.of_files pfs);
+          multi_exit_frac = Metrics.Func_shape.multi_exit_fraction fns;
+          gotos = Metrics.Func_shape.total_gotos fns;
+        })
+      module_names
+  in
+  let all_fns = Cfront.Project.all_functions parsed in
+  let files = parsed.Cfront.Project.files in
+  let casts = Metrics.Casts.of_functions all_fns in
+  let shadowing = Metrics.Shadowing.of_files files in
+  let graph = Cfront.Callgraph.build all_fns in
+  let loc_all = Metrics.Loc_metrics.of_files files in
+  let style = Metrics.Style.of_files files in
+  let sum f = Util.Stats.sum_int (List.map f per_module) in
+  {
+    modules = per_module;
+    total_loc = loc_all.Metrics.Loc_metrics.physical;
+    total_functions = sum (fun m -> m.complexity.Metrics.Complexity.n_functions);
+    over10 = sum (fun m -> m.complexity.Metrics.Complexity.over_10);
+    over20 = sum (fun m -> m.complexity.Metrics.Complexity.over_20);
+    over50 = sum (fun m -> m.complexity.Metrics.Complexity.over_50);
+    explicit_casts = Metrics.Casts.explicit_count casts;
+    implicit_conversions = Metrics.Casts.implicit_count casts;
+    globals_total = sum (fun m -> m.globals);
+    uninit_findings = Metrics.Uninit.of_functions all_fns;
+    shadowing_count =
+      List.length
+        (List.filter
+           (fun (f : Metrics.Shadowing.finding) -> f.Metrics.Shadowing.kind <> `Duplicate_global)
+           shadowing);
+    duplicate_globals =
+      List.length
+        (List.filter
+           (fun (f : Metrics.Shadowing.finding) -> f.Metrics.Shadowing.kind = `Duplicate_global)
+           shadowing);
+    gotos_total = sum (fun m -> m.gotos);
+    recursive_functions = Cfront.Callgraph.recursive_functions graph;
+    dyn_alloc_sites = List.length (Metrics.Pointers.dyn_allocs_of_functions all_fns);
+    pointer_usage = Metrics.Pointers.usage_of_functions all_fns;
+    multi_exit_frac = Metrics.Func_shape.multi_exit_fraction all_fns;
+    param_validation_ratio = Metrics.Defensive.param_validation_ratio all_fns;
+    ignored_returns =
+      List.length (Metrics.Defensive.ignored_returns ~funcs:all_fns all_fns);
+    assertions = Metrics.Defensive.assertion_count all_fns;
+    style_findings = List.length style;
+    style_per_kloc = Metrics.Style.per_kloc style loc_all;
+    naming_violations = List.length (Metrics.Naming.of_files files);
+    architecture = Metrics.Architecture.build ~parsed;
+    namespace_depth = Metrics.Architecture.namespace_depth files;
+    cuda = Cudasim.Census.of_files files;
+    misra = Misra.Registry.run (Misra.Rule.build_context parsed);
+  }
+
+let find_module t name = List.find_opt (fun m -> m.modname = name) t.modules

@@ -1,0 +1,50 @@
+(** One-pass metric extraction over a parsed project.
+
+    Computes every quantity the assessment, the observations and the
+    benchmark harness need; consumers read fields instead of re-walking
+    hundreds of kLOC of ASTs. *)
+
+type module_metrics = {
+  modname : string;
+  complexity : Metrics.Complexity.module_summary;
+  loc : Metrics.Loc_metrics.counts;
+  globals : int;  (** mutable (non-const, non-extern) globals *)
+  multi_exit_frac : float;
+  gotos : int;
+}
+
+type t = {
+  modules : module_metrics list;
+  total_loc : int;  (** physical (non-blank) lines *)
+  total_functions : int;  (** defined functions *)
+  over10 : int;  (** functions with cyclomatic complexity > 10 *)
+  over20 : int;
+  over50 : int;
+  explicit_casts : int;
+  implicit_conversions : int;
+  globals_total : int;
+  uninit_findings : Metrics.Uninit.finding list;
+  shadowing_count : int;
+  duplicate_globals : int;
+  gotos_total : int;
+  recursive_functions : string list;  (** qualified names *)
+  dyn_alloc_sites : int;  (** malloc/new/cudaMalloc call sites *)
+  pointer_usage : Metrics.Pointers.usage;
+  multi_exit_frac : float;
+  param_validation_ratio : float;  (** fraction of pointer params null-checked *)
+  ignored_returns : int;
+  assertions : int;
+  style_findings : int;
+  style_per_kloc : float;
+  naming_violations : int;
+  architecture : Metrics.Architecture.component list;
+  namespace_depth : int;
+  cuda : Cudasim.Census.t;
+  misra : Misra.Registry.report;
+}
+
+(** Extract everything from a parsed project.  Cost is a few passes over
+    each AST; ~1 s for the paper-scale 228k LOC corpus. *)
+val of_parsed : Cfront.Project.parsed -> t
+
+val find_module : t -> string -> module_metrics option

@@ -1,0 +1,108 @@
+(** Rendering of assessment results as text tables (the shape of the
+    paper's Tables 1-3, extended with measured verdicts). *)
+
+let rec_cells (t : Guidelines.topic) =
+  List.map (fun asil -> Asil.rec_to_string (Asil.for_asil t.Guidelines.recs asil)) Asil.all
+
+let table_of_findings ~title (findings : Assess.finding list) =
+  let tbl =
+    Util.Table.make ~title
+      ~header:[ "#"; "Guideline"; "A"; "B"; "C"; "D"; "verdict"; "evidence" ]
+      ~aligns:
+        [ Util.Table.Right; Util.Table.Left; Util.Table.Left; Util.Table.Left;
+          Util.Table.Left; Util.Table.Left; Util.Table.Left; Util.Table.Left ]
+      ()
+  in
+  List.fold_left
+    (fun tbl (f : Assess.finding) ->
+      Util.Table.add_row tbl
+        ([ string_of_int f.Assess.topic.Guidelines.index;
+           f.Assess.topic.Guidelines.title ]
+        @ rec_cells f.Assess.topic
+        @ [ Assess.verdict_name f.Assess.verdict; f.Assess.evidence ]))
+    tbl findings
+
+let render_findings ~title findings =
+  Util.Table.render (table_of_findings ~title findings)
+
+let render_compliance findings =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun asil ->
+      let passed, binding = Assess.compliance_at ~asil findings in
+      Buffer.add_string buf
+        (Printf.sprintf "ASIL-%s: %d of %d binding guidelines satisfied\n"
+           (Asil.to_string asil) passed binding))
+    Asil.all;
+  Buffer.contents buf
+
+let render_observations (obs : Observations.t list) =
+  let tbl =
+    Util.Table.make ~title:"Observations 1-14 (paper statement vs measured evidence)"
+      ~header:[ "#"; "holds"; "observation"; "measured evidence" ]
+      ~aligns:
+        [ Util.Table.Right; Util.Table.Left; Util.Table.Left; Util.Table.Left ]
+      ()
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl (o : Observations.t) ->
+        Util.Table.add_row tbl
+          [ string_of_int o.Observations.number;
+            (if o.Observations.holds then "yes" else "NO");
+            o.Observations.statement; o.Observations.evidence ])
+      tbl obs
+  in
+  Util.Table.render tbl
+
+let render_module_summaries (m : Project_metrics.t) =
+  let tbl =
+    Util.Table.make ~title:"Figure 3: complexity, LOC and functions per Apollo module"
+      ~header:[ "module"; "LOC"; "functions"; "CC>10"; "CC>20"; "CC>50"; "CC max"; "CC mean" ]
+      ~aligns:
+        [ Util.Table.Left; Util.Table.Right; Util.Table.Right; Util.Table.Right;
+          Util.Table.Right; Util.Table.Right; Util.Table.Right; Util.Table.Right ]
+      ()
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl (mm : Project_metrics.module_metrics) ->
+        let c = mm.Project_metrics.complexity in
+        Util.Table.add_row tbl
+          [ mm.Project_metrics.modname;
+            string_of_int c.Metrics.Complexity.loc;
+            string_of_int c.Metrics.Complexity.n_functions;
+            string_of_int c.Metrics.Complexity.over_10;
+            string_of_int c.Metrics.Complexity.over_20;
+            string_of_int c.Metrics.Complexity.over_50;
+            string_of_int c.Metrics.Complexity.cc_max;
+            Util.Table.fmt_float c.Metrics.Complexity.cc_mean ])
+      tbl m.Project_metrics.modules
+  in
+  Util.Table.render tbl
+
+let render_coverage ~title (files : Coverage.Collector.file_coverage list) =
+  let tbl =
+    Util.Table.make ~title
+      ~header:[ "file"; "statement"; "branch"; "MC/DC"; "function"; "excluded fns" ]
+      ~aligns:
+        [ Util.Table.Left; Util.Table.Right; Util.Table.Right; Util.Table.Right;
+          Util.Table.Right; Util.Table.Right ]
+      ()
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl (f : Coverage.Collector.file_coverage) ->
+        Util.Table.add_row tbl
+          [ f.Coverage.Collector.file;
+            Util.Table.fmt_pct f.Coverage.Collector.stmt_pct;
+            Util.Table.fmt_pct f.Coverage.Collector.branch_pct;
+            Util.Table.fmt_pct f.Coverage.Collector.mcdc_pct;
+            Util.Table.fmt_pct f.Coverage.Collector.function_pct;
+            string_of_int f.Coverage.Collector.excluded ])
+      tbl files
+  in
+  let stmt, branch, mcdc = Coverage.Collector.averages files in
+  Util.Table.render tbl
+  ^ Printf.sprintf "average: statement %.1f%%, branch %.1f%%, MC/DC %.1f%%\n" stmt
+      branch mcdc

@@ -1,0 +1,22 @@
+(** Text rendering of assessment artifacts in the shape of the paper's
+    tables and figures. *)
+
+(** A findings table in the paper's Table 1-3 layout: topic, the four
+    per-ASIL recommendation cells, verdict, evidence. *)
+val table_of_findings : title:string -> Assess.finding list -> Util.Table.t
+
+val render_findings : title:string -> Assess.finding list -> string
+
+(** Per-ASIL "N of M binding guidelines satisfied" summary. *)
+val render_compliance : Assess.finding list -> string
+
+(** The Observations 1-14 table. *)
+val render_observations : Observations.t list -> string
+
+(** The Figure 3 per-module complexity/LOC/function table. *)
+val render_module_summaries : Project_metrics.t -> string
+
+(** A Figure 5/6-style coverage table (statement, branch, MC/DC,
+    function coverage, excluded functions) plus the averages line. *)
+val render_coverage :
+  title:string -> Coverage.Collector.file_coverage list -> string

@@ -1,0 +1,126 @@
+(** Fixed-priority response-time analysis for the AD pipeline task set.
+
+    ISO 26262-6 Table 3 item 6 requires "appropriate scheduling
+    properties" — the evidence a certification needs is a schedulability
+    argument: given each module's period and worst-case execution time,
+    do all deadlines hold under the chosen scheduler?
+
+    This is the classic Joseph-Pandya response-time recurrence for
+    fixed-priority preemptive scheduling (rate-monotonic priority
+    assignment):  R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j.
+
+    The AD task set's WCETs come from this repository's own models: the
+    perception WCET from the GPU performance model's YOLO time, the
+    others scaled from their module sizes.  The paper's point stands
+    either way: without WCETs (Observation 1: complexity blocks WCET
+    analysis) this table cannot even be filled in. *)
+
+type task = {
+  t_name : string;
+  period_ms : float;  (** also the implicit deadline *)
+  wcet_ms : float;
+}
+
+type task_result = {
+  task : task;
+  response_ms : float;
+  schedulable : bool;
+  utilization : float;
+}
+
+type analysis = {
+  tasks : task_result list;
+  total_utilization : float;
+  all_schedulable : bool;
+  ll_bound : float;  (** Liu & Layland utilization bound for n tasks *)
+}
+
+(** The pipeline task set at a typical AD cadence: perception at 10 Hz
+    camera rate, planning at 10 Hz, control at 100 Hz, CAN at 100 Hz.
+    [perception_wcet_ms] lets callers plug in the measured Figure 7
+    inference time for the deployed library/GPU. *)
+let ad_task_set ?(perception_wcet_ms = 25.0) () =
+  [
+    { t_name = "canbus"; period_ms = 10.0; wcet_ms = 0.4 };
+    { t_name = "control"; period_ms = 10.0; wcet_ms = 1.2 };
+    { t_name = "localization"; period_ms = 50.0; wcet_ms = 6.0 };
+    { t_name = "perception"; period_ms = 100.0; wcet_ms = perception_wcet_ms };
+    { t_name = "prediction"; period_ms = 100.0; wcet_ms = 8.0 };
+    { t_name = "planning"; period_ms = 100.0; wcet_ms = 18.0 };
+  ]
+
+(** Rate-monotonic order: shorter period = higher priority. *)
+let rm_order tasks =
+  List.stable_sort (fun a b -> compare a.period_ms b.period_ms) tasks
+
+(** Response time of [task] given strictly higher-priority tasks [hp];
+    [None] when the recurrence diverges past the deadline. *)
+let response_time ~hp task =
+  let rec iterate r guard =
+    if guard > 1000 then None
+    else
+      let interference =
+        Util.Stats.sum_float
+          (List.map
+             (fun j -> ceil (r /. j.period_ms) *. j.wcet_ms)
+             hp)
+      in
+      let r' = task.wcet_ms +. interference in
+      if r' > task.period_ms then None
+      else if abs_float (r' -. r) < 1e-9 then Some r'
+      else iterate r' (guard + 1)
+  in
+  iterate task.wcet_ms 0
+
+let analyze tasks =
+  let ordered = rm_order tasks in
+  let results =
+    List.mapi
+      (fun i task ->
+        let hp = List.filteri (fun j _ -> j < i) ordered in
+        let response = response_time ~hp task in
+        {
+          task;
+          response_ms = Option.value ~default:infinity response;
+          schedulable = response <> None;
+          utilization = task.wcet_ms /. task.period_ms;
+        })
+      ordered
+  in
+  let n = float_of_int (List.length tasks) in
+  {
+    tasks = results;
+    total_utilization = Util.Stats.sum_float (List.map (fun r -> r.utilization) results);
+    all_schedulable = List.for_all (fun r -> r.schedulable) results;
+    ll_bound = n *. ((2.0 ** (1.0 /. n)) -. 1.0);
+  }
+
+let render analysis =
+  let tbl =
+    Util.Table.make ~title:"Rate-monotonic response-time analysis of the AD pipeline"
+      ~header:[ "task"; "period (ms)"; "WCET (ms)"; "response (ms)"; "deadline met" ]
+      ~aligns:
+        [ Util.Table.Left; Util.Table.Right; Util.Table.Right; Util.Table.Right;
+          Util.Table.Left ]
+      ()
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl r ->
+        Util.Table.add_row tbl
+          [ r.task.t_name;
+            Util.Table.fmt_float ~decimals:1 r.task.period_ms;
+            Util.Table.fmt_float ~decimals:1 r.task.wcet_ms;
+            (if r.schedulable then Util.Table.fmt_float ~decimals:1 r.response_ms
+             else "diverges");
+            (if r.schedulable then "yes" else "NO") ])
+      tbl analysis.tasks
+  in
+  Util.Table.render tbl
+  ^ Printf.sprintf
+      "utilization %.2f (Liu-Layland bound for %d tasks: %.2f); %s\n"
+      analysis.total_utilization
+      (List.length analysis.tasks)
+      analysis.ll_bound
+      (if analysis.all_schedulable then "task set is schedulable"
+       else "TASK SET IS NOT SCHEDULABLE")

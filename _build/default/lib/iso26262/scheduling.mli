@@ -1,0 +1,41 @@
+(** Fixed-priority response-time analysis for the AD pipeline task set —
+    the schedulability evidence ISO 26262-6 Table 3 item 6 ("appropriate
+    scheduling properties") asks for.
+
+    Implements the Joseph-Pandya recurrence under rate-monotonic priority
+    assignment with implicit deadlines. *)
+
+type task = {
+  t_name : string;
+  period_ms : float;  (** also the implicit deadline *)
+  wcet_ms : float;
+}
+
+type task_result = {
+  task : task;
+  response_ms : float;  (** [infinity] when the recurrence diverges *)
+  schedulable : bool;
+  utilization : float;
+}
+
+type analysis = {
+  tasks : task_result list;  (** in priority (rate-monotonic) order *)
+  total_utilization : float;
+  all_schedulable : bool;
+  ll_bound : float;  (** Liu-Layland utilization bound for n tasks *)
+}
+
+(** The AD pipeline at a typical cadence (control/CAN at 100 Hz,
+    localization at 20 Hz, perception/prediction/planning at 10 Hz).
+    [perception_wcet_ms] plugs in a measured Figure 7 inference time. *)
+val ad_task_set : ?perception_wcet_ms:float -> unit -> task list
+
+(** Shorter period = higher priority (stable for ties). *)
+val rm_order : task list -> task list
+
+(** Response time of [task] under interference from the strictly
+    higher-priority set [hp]; [None] when it exceeds the deadline. *)
+val response_time : hp:task list -> task -> float option
+
+val analyze : task list -> analysis
+val render : analysis -> string

@@ -1,0 +1,115 @@
+(** Structural models behind the paper's two architecture diagrams:
+
+    - Figure 1: the state-of-the-art AD pipeline (sensors through CAN bus),
+      with each module's safety relevance;
+    - Figure 2: the taxonomy of libraries used by Apollo's perception
+      module, annotated open/closed source — the evidence behind
+      Observation 12.
+
+    Rendered as text trees by the benchmark harness. *)
+
+(* --- Figure 1: the AD pipeline ------------------------------------- *)
+
+type pipeline_module = {
+  pm_name : string;
+  pm_role : string;
+  pm_inputs : string list;  (** upstream modules or sensors *)
+  pm_gpu : bool;  (** compute-intensive, GPU-accelerated in Apollo *)
+}
+
+let pipeline =
+  [
+    { pm_name = "perception"; pm_role = "object detection and tracking (YOLO CNN)";
+      pm_inputs = [ "camera"; "LIDAR"; "radar" ]; pm_gpu = true };
+    { pm_name = "prediction"; pm_role = "future trajectories of perceived obstacles";
+      pm_inputs = [ "perception" ]; pm_gpu = false };
+    { pm_name = "localization"; pm_role = "precise vehicle position";
+      pm_inputs = [ "GPS"; "IMU"; "LIDAR" ]; pm_gpu = false };
+    { pm_name = "map"; pm_role = "HD map queries";
+      pm_inputs = [ "localization" ]; pm_gpu = false };
+    { pm_name = "routing"; pm_role = "best route to destination";
+      pm_inputs = [ "map" ]; pm_gpu = false };
+    { pm_name = "planning"; pm_role = "safe collision-free trajectory";
+      pm_inputs = [ "prediction"; "routing"; "localization" ]; pm_gpu = false };
+    { pm_name = "control"; pm_role = "acceleration, braking, steering commands";
+      pm_inputs = [ "planning" ]; pm_gpu = false };
+    { pm_name = "canbus"; pm_role = "command passthrough to vehicle hardware";
+      pm_inputs = [ "control" ]; pm_gpu = false };
+  ]
+
+let render_pipeline () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 1: state-of-the-art AD pipeline (all modules affect car motion => ASIL-D)\n";
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-13s <- %-28s %s%s\n" m.pm_name
+           (String.concat ", " m.pm_inputs)
+           m.pm_role
+           (if m.pm_gpu then "  [GPU]" else "")))
+    pipeline;
+  Buffer.contents buf
+
+(* --- Figure 2: perception library taxonomy ------------------------- *)
+
+type availability = Open_source | Closed_source
+
+type lib_node = {
+  l_name : string;
+  l_kind : string;
+  l_avail : availability;
+  l_children : lib_node list;
+}
+
+let leaf ~kind ~avail name = { l_name = name; l_kind = kind; l_avail = avail; l_children = [] }
+
+let taxonomy =
+  {
+    l_name = "Apollo perception (camera object detection)";
+    l_kind = "module";
+    l_avail = Open_source;
+    l_children =
+      [
+        {
+          l_name = "Caffe / Darknet (DNN framework)";
+          l_kind = "high-level DNN library";
+          l_avail = Open_source;
+          l_children =
+            [
+              leaf ~kind:"GPU primitives (DNN)" ~avail:Closed_source "cuDNN";
+              leaf ~kind:"GPU primitives (BLAS)" ~avail:Closed_source "cuBLAS";
+              leaf ~kind:"inference optimizer" ~avail:Closed_source "TensorRT";
+              leaf ~kind:"GPU primitives (GEMM templates)" ~avail:Open_source "CUTLASS";
+              leaf ~kind:"input-aware autotuner" ~avail:Open_source "ISAAC";
+              leaf ~kind:"CPU BLAS" ~avail:Open_source "ATLAS";
+              leaf ~kind:"CPU BLAS" ~avail:Open_source "OpenBLAS";
+            ];
+        };
+        leaf ~kind:"CUDA runtime" ~avail:Closed_source "CUDA driver + runtime";
+      ];
+  }
+
+let availability_name = function
+  | Open_source -> "open"
+  | Closed_source -> "CLOSED"
+
+let render_taxonomy () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Figure 2: taxonomy of libraries used by Apollo's perception module\n";
+  let rec go indent node =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-42s %-32s [%s]\n"
+         (String.make indent ' ')
+         node.l_name node.l_kind
+         (availability_name node.l_avail));
+    List.iter (go (indent + 2)) node.l_children
+  in
+  go 2 taxonomy;
+  Buffer.contents buf
+
+(** Count of closed-source leaves — the certification dependency surface
+    of Observation 12. *)
+let rec closed_count node =
+  (if node.l_avail = Closed_source then 1 else 0)
+  + Util.Stats.sum_int (List.map closed_count node.l_children)

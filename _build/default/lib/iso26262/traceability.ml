@@ -1,0 +1,190 @@
+(** Safety-requirement traceability.
+
+    The paper's introduction describes the ISO 26262 life-cycle: safety
+    goals are refined, "via a technical safety concept, to software and
+    other architectural components", with "traceability as a fundamental
+    element to link high-level requirements, low-level requirements, and
+    analyzes".
+
+    This module implements that linkage for the AD pipeline: a small
+    model of safety goals, decomposed into software safety requirements,
+    each allocated to pipeline modules and verified by specific guideline
+    topics.  The audit's per-topic verdicts then roll up into a
+    per-requirement and per-goal status — the traceability matrix an
+    assessor asks for first. *)
+
+type safety_goal = {
+  sg_id : string;
+  sg_text : string;
+  sg_asil : Asil.t;
+}
+
+type software_requirement = {
+  sr_id : string;
+  sr_goal : string;  (** parent goal id *)
+  sr_text : string;
+  sr_modules : string list;  (** allocated components *)
+  sr_verified_by : (Guidelines.table * int) list;  (** guideline topics *)
+}
+
+let goals =
+  [
+    { sg_id = "G1"; sg_text = "The vehicle shall not collide with detected obstacles";
+      sg_asil = Asil.D };
+    { sg_id = "G2"; sg_text = "The vehicle shall remain within its drivable corridor";
+      sg_asil = Asil.D };
+    { sg_id = "G3"; sg_text = "Control commands shall be timely and bounded";
+      sg_asil = Asil.D };
+    { sg_id = "G4"; sg_text = "The system shall remain operational under single software faults";
+      sg_asil = Asil.D };
+  ]
+
+let requirements =
+  [
+    { sr_id = "SR1.1"; sr_goal = "G1";
+      sr_text = "Object detection shall process every frame deterministically";
+      sr_modules = [ "perception" ];
+      sr_verified_by = [ (Guidelines.Coding, 1); (Guidelines.Unit_design, 2) ] };
+    { sr_id = "SR1.2"; sr_goal = "G1";
+      sr_text = "Detection code shall be exhaustively testable (coverage evidence)";
+      sr_modules = [ "perception" ];
+      sr_verified_by = [ (Guidelines.Coding, 2); (Guidelines.Unit_design, 8) ] };
+    { sr_id = "SR1.3"; sr_goal = "G1";
+      sr_text = "Obstacle trajectories shall be predicted with validated inputs";
+      sr_modules = [ "prediction" ];
+      sr_verified_by = [ (Guidelines.Coding, 4) ] };
+    { sr_id = "SR2.1"; sr_goal = "G2";
+      sr_text = "Localization shall be free of unbounded recursion and hidden flow";
+      sr_modules = [ "localization"; "map" ];
+      sr_verified_by = [ (Guidelines.Unit_design, 10); (Guidelines.Unit_design, 8) ] };
+    { sr_id = "SR2.2"; sr_goal = "G2";
+      sr_text = "Planning shall use typed, initialized state only";
+      sr_modules = [ "planning" ];
+      sr_verified_by = [ (Guidelines.Coding, 3); (Guidelines.Unit_design, 3) ] };
+    { sr_id = "SR3.1"; sr_goal = "G3";
+      sr_text = "Control and CAN paths shall have analyzable timing";
+      sr_modules = [ "control"; "canbus" ];
+      sr_verified_by = [ (Guidelines.Coding, 1); (Guidelines.Architecture, 6) ] };
+    { sr_id = "SR3.2"; sr_goal = "G3";
+      sr_text = "Control flow shall have single entry/exit and no jumps";
+      sr_modules = [ "control" ];
+      sr_verified_by = [ (Guidelines.Unit_design, 1); (Guidelines.Unit_design, 9) ] };
+    { sr_id = "SR4.1"; sr_goal = "G4";
+      sr_text = "Shared state shall be bounded and justified (globals, interfaces)";
+      sr_modules = [ "common"; "perception"; "planning" ];
+      sr_verified_by = [ (Guidelines.Unit_design, 5); (Guidelines.Architecture, 3) ] };
+    { sr_id = "SR4.2"; sr_goal = "G4";
+      sr_text = "Components shall be small and loosely coupled for fault containment";
+      sr_modules = [ "perception"; "planning"; "prediction" ];
+      sr_verified_by = [ (Guidelines.Architecture, 2); (Guidelines.Architecture, 5) ] };
+  ]
+
+type req_status = Verified | Partially_verified | Not_verified
+
+let status_name = function
+  | Verified -> "verified"
+  | Partially_verified -> "partial"
+  | Not_verified -> "NOT VERIFIED"
+
+type req_trace = {
+  requirement : software_requirement;
+  verdicts : (Guidelines.table * int * Assess.verdict) list;
+  status : req_status;
+}
+
+type goal_trace = {
+  goal : safety_goal;
+  reqs : req_trace list;
+  goal_verified : bool;
+}
+
+(** Join the requirement model with assessment findings. *)
+let trace (findings : Assess.finding list) =
+  let verdict_of table index =
+    match
+      List.find_opt
+        (fun (f : Assess.finding) ->
+          f.Assess.topic.Guidelines.table = table
+          && f.Assess.topic.Guidelines.index = index)
+        findings
+    with
+    | Some f -> f.Assess.verdict
+    | None -> Assess.Not_applicable
+  in
+  let trace_req sr =
+    let verdicts =
+      List.map (fun (t, i) -> (t, i, verdict_of t i)) sr.sr_verified_by
+    in
+    let relevant =
+      List.filter (fun (_, _, v) -> v <> Assess.Not_applicable) verdicts
+    in
+    let passes = List.filter (fun (_, _, v) -> v = Assess.Pass) relevant in
+    let status =
+      if relevant = [] then Not_verified
+      else if List.length passes = List.length relevant then Verified
+      else if passes <> [] then Partially_verified
+      else Not_verified
+    in
+    { requirement = sr; verdicts; status }
+  in
+  List.map
+    (fun goal ->
+      let reqs =
+        List.map trace_req
+          (List.filter (fun sr -> sr.sr_goal = goal.sg_id) requirements)
+      in
+      {
+        goal;
+        reqs;
+        goal_verified = List.for_all (fun r -> r.status = Verified) reqs;
+      })
+    goals
+
+let render traces =
+  let tbl =
+    Util.Table.make
+      ~title:"Traceability: safety goals -> software requirements -> guideline evidence"
+      ~header:[ "goal"; "requirement"; "allocated to"; "evidence (table.item=verdict)"; "status" ]
+      ~aligns:
+        [ Util.Table.Left; Util.Table.Left; Util.Table.Left; Util.Table.Left;
+          Util.Table.Left ]
+      ()
+  in
+  let table_tag = function
+    | Guidelines.Coding -> "T1"
+    | Guidelines.Architecture -> "T3"
+    | Guidelines.Unit_design -> "T8"
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl gt ->
+        List.fold_left
+          (fun tbl rt ->
+            Util.Table.add_row tbl
+              [ gt.goal.sg_id ^ " (ASIL-" ^ Asil.to_string gt.goal.sg_asil ^ ")";
+                rt.requirement.sr_id ^ " " ^ rt.requirement.sr_text;
+                String.concat ", " rt.requirement.sr_modules;
+                String.concat ", "
+                  (List.map
+                     (fun (t, i, v) ->
+                       Printf.sprintf "%s.%d=%s" (table_tag t) i
+                         (Assess.verdict_name v))
+                     rt.verdicts);
+                status_name rt.status ])
+          tbl gt.reqs)
+      tbl traces
+  in
+  let verified_goals = List.length (List.filter (fun g -> g.goal_verified) traces) in
+  Util.Table.render tbl
+  ^ Printf.sprintf "safety goals fully verified: %d of %d\n" verified_goals
+      (List.length traces)
+
+(** Requirements whose allocated modules do not all exist in the audited
+    project — a traceability defect in itself. *)
+let unallocated_requirements (m : Project_metrics.t) =
+  let module_names =
+    List.map (fun mm -> mm.Project_metrics.modname) m.Project_metrics.modules
+  in
+  List.filter
+    (fun sr -> not (List.for_all (fun md -> List.mem md module_names) sr.sr_modules))
+    requirements

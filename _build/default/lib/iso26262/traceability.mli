@@ -1,0 +1,49 @@
+(** Safety-requirement traceability: the goal → requirement → evidence
+    linkage the ISO 26262 life-cycle is built around ("traceability as a
+    fundamental element", paper §1). *)
+
+type safety_goal = {
+  sg_id : string;
+  sg_text : string;
+  sg_asil : Asil.t;
+}
+
+type software_requirement = {
+  sr_id : string;
+  sr_goal : string;  (** parent goal id *)
+  sr_text : string;
+  sr_modules : string list;  (** allocated pipeline components *)
+  sr_verified_by : (Guidelines.table * int) list;  (** verifying guideline topics *)
+}
+
+(** The modelled goal set (G1..G4, all ASIL-D). *)
+val goals : safety_goal list
+
+(** The software safety requirements refined from the goals. *)
+val requirements : software_requirement list
+
+type req_status = Verified | Partially_verified | Not_verified
+
+val status_name : req_status -> string
+
+type req_trace = {
+  requirement : software_requirement;
+  verdicts : (Guidelines.table * int * Assess.verdict) list;
+  status : req_status;
+}
+
+type goal_trace = {
+  goal : safety_goal;
+  reqs : req_trace list;
+  goal_verified : bool;  (** all child requirements fully verified *)
+}
+
+(** Join the requirement model with assessment findings. *)
+val trace : Assess.finding list -> goal_trace list
+
+(** The traceability matrix as a text table, with the per-goal roll-up. *)
+val render : goal_trace list -> string
+
+(** Requirements allocated to components that do not exist in the audited
+    project — a traceability defect in itself. *)
+val unallocated_requirements : Project_metrics.t -> software_requirement list

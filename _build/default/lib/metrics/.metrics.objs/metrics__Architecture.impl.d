@@ -1,0 +1,1 @@
+lib/metrics/architecture.ml: Cfront Hashtbl List Loc_metrics Stdlib

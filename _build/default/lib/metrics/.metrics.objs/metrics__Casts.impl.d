@@ -1,0 +1,1 @@
+lib/metrics/casts.ml: Cfront Hashtbl List Option

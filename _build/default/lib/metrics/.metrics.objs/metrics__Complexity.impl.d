@@ -1,0 +1,1 @@
+lib/metrics/complexity.ml: Cfront List Option Stdlib Util

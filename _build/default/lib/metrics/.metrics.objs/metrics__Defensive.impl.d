@@ -1,0 +1,1 @@
+lib/metrics/defensive.ml: Cfront Hashtbl List Util

@@ -1,0 +1,1 @@
+lib/metrics/func_shape.ml: Cfront List Util

@@ -1,0 +1,1 @@
+lib/metrics/globals.ml: Cfront List

@@ -1,0 +1,1 @@
+lib/metrics/halstead.ml: Cfront Complexity Hashtbl List Printf Stdlib Util

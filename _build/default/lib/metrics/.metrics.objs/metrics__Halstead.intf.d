@@ -1,0 +1,1 @@
+lib/metrics/halstead.mli: Cfront

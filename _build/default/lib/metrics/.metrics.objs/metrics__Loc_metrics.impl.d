@@ -1,0 +1,1 @@
+lib/metrics/loc_metrics.ml: Cfront List Util

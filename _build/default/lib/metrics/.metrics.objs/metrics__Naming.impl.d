@@ -1,0 +1,1 @@
+lib/metrics/naming.ml: Cfront List String Util

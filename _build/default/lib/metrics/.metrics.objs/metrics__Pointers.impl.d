@@ -1,0 +1,1 @@
+lib/metrics/pointers.ml: Cfront List

@@ -1,0 +1,1 @@
+lib/metrics/shadowing.ml: Cfront Globals Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/metrics/style.ml: Cfront List Loc_metrics String Util

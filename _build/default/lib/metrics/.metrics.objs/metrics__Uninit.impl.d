@@ -1,0 +1,1 @@
+lib/metrics/uninit.ml: Cfront List Option

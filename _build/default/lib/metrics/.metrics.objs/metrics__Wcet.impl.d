@@ -1,0 +1,1 @@
+lib/metrics/wcet.ml: Cfront Int64 List String

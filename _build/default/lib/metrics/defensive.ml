@@ -1,0 +1,120 @@
+(** Defensive-implementation analysis (ISO 26262-6 Table 1, item 4).
+
+    Two measurable facets of defensive programming, matching §3.1.4 of the
+    paper:
+    - parameter validation: a function taking pointer parameters should
+      check each of them (against [nullptr]/[NULL]/0) before first use;
+    - return-value handling: callers of functions returning a value should
+      not discard that value (an expression-statement call whose result is
+      ignored). *)
+
+type param_check = {
+  fn : string;
+  pointer_params : string list;
+  checked_params : string list;  (** subset compared against null before use *)
+}
+
+(** Names compared against null anywhere in the function body. *)
+let null_checked_names (fn : Cfront.Ast.func) =
+  let acc = ref [] in
+  let is_null e =
+    match e.Cfront.Ast.e with
+    | Cfront.Ast.Nullptr -> true
+    | Cfront.Ast.Int_const 0L -> true
+    | Cfront.Ast.Id "NULL" -> true
+    | _ -> false
+  in
+  Cfront.Ast.iter_exprs_of_func
+    (fun e ->
+      match e.Cfront.Ast.e with
+      | Cfront.Ast.Binary ((Cfront.Ast.Eq | Cfront.Ast.Ne), { e = Cfront.Ast.Id n; _ }, other)
+        when is_null other ->
+        acc := n :: !acc
+      | Cfront.Ast.Binary ((Cfront.Ast.Eq | Cfront.Ast.Ne), other, { e = Cfront.Ast.Id n; _ })
+        when is_null other ->
+        acc := n :: !acc
+      | Cfront.Ast.Unary (Cfront.Ast.Lnot, { e = Cfront.Ast.Id n; _ }) -> acc := n :: !acc
+      | _ -> ())
+    fn;
+  (* a bare [if (p)] also counts *)
+  (match fn.Cfront.Ast.f_body with
+   | None -> ()
+   | Some body ->
+     Cfront.Ast.iter_stmts
+       (fun s ->
+         match s.Cfront.Ast.s with
+         | Cfront.Ast.Sif { cond = { e = Cfront.Ast.Id n; _ }; _ } -> acc := n :: !acc
+         | _ -> ())
+       body);
+  List.sort_uniq compare !acc
+
+let param_check_of_func (fn : Cfront.Ast.func) =
+  match fn.Cfront.Ast.f_body with
+  | None -> None
+  | Some _ ->
+    let pointer_params =
+      List.filter_map
+        (fun p ->
+          if Cfront.Ast.is_pointer_type p.Cfront.Ast.p_type then Some p.Cfront.Ast.p_name
+          else None)
+        fn.Cfront.Ast.f_params
+    in
+    if pointer_params = [] then None
+    else
+      let checked = null_checked_names fn in
+      Some
+        {
+          fn = Cfront.Ast.qualified_name fn;
+          pointer_params;
+          checked_params = List.filter (fun p -> List.mem p checked) pointer_params;
+        }
+
+(** Fraction of pointer parameters that are validated, over all functions
+    with pointer parameters. *)
+let param_validation_ratio fns =
+  let checks = List.filter_map param_check_of_func fns in
+  let total = Util.Stats.sum_int (List.map (fun c -> List.length c.pointer_params) checks) in
+  let checked = Util.Stats.sum_int (List.map (fun c -> List.length c.checked_params) checks) in
+  if total = 0 then 1.0 else float_of_int checked /. float_of_int total
+
+(** Call sites whose non-void result is discarded.  Without full type
+    resolution we flag expression-statement calls to functions *known*
+    (from the provided definitions) to return non-void. *)
+let ignored_returns ~(funcs : Cfront.Ast.func list) fns =
+  let returns_value = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Cfront.Ast.func) ->
+      let non_void = match f.Cfront.Ast.f_ret with Cfront.Ast.Tvoid -> false | _ -> true in
+      Hashtbl.replace returns_value f.Cfront.Ast.f_name non_void)
+    funcs;
+  let acc = ref [] in
+  List.iter
+    (fun (fn : Cfront.Ast.func) ->
+      match fn.Cfront.Ast.f_body with
+      | None -> ()
+      | Some body ->
+        Cfront.Ast.iter_stmts
+          (fun s ->
+            match s.Cfront.Ast.s with
+            | Cfront.Ast.Sexpr { e = Cfront.Ast.Call ({ e = Cfront.Ast.Id callee; _ }, _); eloc; _ }
+              when Hashtbl.find_opt returns_value callee = Some true ->
+              acc := (Cfront.Ast.qualified_name fn, callee, eloc) :: !acc
+            | _ -> ())
+          body)
+    fns;
+  List.rev !acc
+
+(** Assertion density: assert()/CHECK()-style calls per function. *)
+let assertion_count fns =
+  let n = ref 0 in
+  List.iter
+    (fun fn ->
+      Cfront.Ast.iter_exprs_of_func
+        (fun e ->
+          match e.Cfront.Ast.e with
+          | Cfront.Ast.Call ({ e = Cfront.Ast.Id ("assert" | "CHECK" | "DCHECK" | "CHECK_NOTNULL"); _ }, _) ->
+            incr n
+          | _ -> ())
+        fn)
+    fns;
+  !n

@@ -1,0 +1,82 @@
+(** Function-shape metrics: exit points, parameter counts, body length.
+
+    ISO 26262-6 Table 8 item 1 requires "one entry and one exit point in
+    subprograms and functions".  C functions always have one entry; a
+    function violates the guideline when it has more than one [return]
+    statement, or a [return] that is not the final statement, or exits via
+    [goto]/[throw] from the middle. *)
+
+type t = {
+  fn : Cfront.Ast.func;
+  returns : int;
+  gotos : int;
+  throws : int;
+  multi_exit : bool;
+  params : int;
+  body_stmts : int;
+}
+
+let count_stmt_kinds body =
+  let returns = ref 0 and gotos = ref 0 and stmts = ref 0 in
+  Cfront.Ast.iter_stmts
+    (fun s ->
+      incr stmts;
+      match s.Cfront.Ast.s with
+      | Cfront.Ast.Sreturn _ -> incr returns
+      | Cfront.Ast.Sgoto _ -> incr gotos
+      | _ -> ())
+    body;
+  (!returns, !gotos, !stmts)
+
+let count_throws fn =
+  let n = ref 0 in
+  Cfront.Ast.iter_exprs_of_func
+    (fun e -> match e.Cfront.Ast.e with Cfront.Ast.Throw _ -> incr n | _ -> ())
+    fn;
+  !n
+
+(** Is the last statement of the body a return?  Used to decide whether a
+    single-return function still exits "at the end". *)
+let rec ends_with_return stmt =
+  match stmt.Cfront.Ast.s with
+  | Cfront.Ast.Sreturn _ -> true
+  | Cfront.Ast.Sblock ss ->
+    (match List.rev ss with [] -> false | last :: _ -> ends_with_return last)
+  | Cfront.Ast.Slabel (_, inner) -> ends_with_return inner
+  | _ -> false
+
+let of_func (fn : Cfront.Ast.func) =
+  match fn.Cfront.Ast.f_body with
+  | None -> None
+  | Some body ->
+    let returns, gotos, body_stmts = count_stmt_kinds body in
+    let throws = count_throws fn in
+    let multi_exit =
+      returns > 1 || throws > 0
+      || (returns = 1 && not (ends_with_return body))
+    in
+    Some
+      {
+        fn;
+        returns;
+        gotos;
+        throws;
+        multi_exit;
+        params = List.length fn.Cfront.Ast.f_params;
+        body_stmts;
+      }
+
+let of_functions fns = List.filter_map of_func fns
+
+(** Fraction of defined functions with more than one exit point — the
+    paper reports 41% for the object-detection module. *)
+let multi_exit_fraction fns =
+  let shapes = of_functions fns in
+  match shapes with
+  | [] -> 0.0
+  | _ ->
+    float_of_int (List.length (List.filter (fun s -> s.multi_exit) shapes))
+    /. float_of_int (List.length shapes)
+
+let total_gotos fns =
+  Util.Stats.sum_int (List.map (fun s -> s.gotos) (of_functions fns))

@@ -1,0 +1,135 @@
+(** Halstead software-science metrics and the derived maintainability
+    index.
+
+    Computed from the token stream, as classic tools do: operators are
+    keywords and punctuators (excluding grouping-only tokens), operands
+    are identifiers and literals.  The maintainability index uses the
+    common SEI formula
+    [171 - 5.2 ln V - 0.23 CC - 16.2 ln LOC], rescaled to 0..100. *)
+
+type t = {
+  n1 : int;  (** distinct operators *)
+  n2 : int;  (** distinct operands *)
+  big_n1 : int;  (** total operators *)
+  big_n2 : int;  (** total operands *)
+  vocabulary : int;
+  length : int;
+  volume : float;
+  difficulty : float;
+  effort : float;
+  estimated_bugs : float;
+}
+
+let grouping_puncts = [ "("; ")"; "{"; "}"; ";"; ","; "["; "]" ]
+
+let non_operator_keywords = [ "true"; "false"; "nullptr" ]
+
+let of_tokens (tokens : Cfront.Token.t list) =
+  let ops = Hashtbl.create 32 and opnds = Hashtbl.create 64 in
+  let total_ops = ref 0 and total_opnds = ref 0 in
+  List.iter
+    (fun (t : Cfront.Token.t) ->
+      match t.Cfront.Token.kind with
+      | Cfront.Token.Keyword k when not (List.mem k non_operator_keywords) ->
+        Hashtbl.replace ops k ();
+        incr total_ops
+      | Cfront.Token.Punct p when not (List.mem p grouping_puncts) ->
+        Hashtbl.replace ops p ();
+        incr total_ops
+      | Cfront.Token.Ident name ->
+        Hashtbl.replace opnds name ();
+        incr total_opnds
+      | Cfront.Token.Int_lit (_, raw) | Cfront.Token.Float_lit (_, raw) ->
+        Hashtbl.replace opnds raw ();
+        incr total_opnds
+      | Cfront.Token.String_lit s ->
+        Hashtbl.replace opnds ("\"" ^ s) ();
+        incr total_opnds
+      | Cfront.Token.Char_lit c ->
+        Hashtbl.replace opnds (Printf.sprintf "'%c'" c) ();
+        incr total_opnds
+      | Cfront.Token.Keyword _ | Cfront.Token.Punct _ | Cfront.Token.Eof -> ())
+    tokens;
+  let n1 = Hashtbl.length ops and n2 = Hashtbl.length opnds in
+  let big_n1 = !total_ops and big_n2 = !total_opnds in
+  let vocabulary = n1 + n2 in
+  let length = big_n1 + big_n2 in
+  let volume =
+    if vocabulary = 0 then 0.0
+    else float_of_int length *. (log (float_of_int vocabulary) /. log 2.0)
+  in
+  let difficulty =
+    if n2 = 0 then 0.0
+    else float_of_int n1 /. 2.0 *. (float_of_int big_n2 /. float_of_int n2)
+  in
+  {
+    n1;
+    n2;
+    big_n1;
+    big_n2;
+    vocabulary;
+    length;
+    volume;
+    difficulty;
+    effort = difficulty *. volume;
+    estimated_bugs = volume /. 3000.0;
+  }
+
+let of_tu (tu : Cfront.Ast.tu) = of_tokens tu.Cfront.Ast.tokens
+
+let of_files (pfs : Cfront.Project.parsed_file list) =
+  of_tokens
+    (List.concat_map (fun pf -> pf.Cfront.Project.tu.Cfront.Ast.tokens) pfs)
+
+(** SEI maintainability index, clamped to [0, 100].  Above ~85 is
+    conventionally "highly maintainable", below 65 "difficult to
+    maintain". *)
+let maintainability_index ~volume ~mean_cc ~loc =
+  if loc <= 0 then 100.0
+  else
+    let v = Stdlib.max 1.0 volume in
+    let raw =
+      171.0 -. (5.2 *. log v) -. (0.23 *. mean_cc) -. (16.2 *. log (float_of_int loc))
+    in
+    Util.Stats.clamp ~lo:0.0 ~hi:100.0 (raw *. 100.0 /. 171.0)
+
+(** Halstead metrics of one function, from the tokens inside its line
+    span. *)
+let of_func ~(tu : Cfront.Ast.tu) (fn : Cfront.Ast.func) =
+  let first = fn.Cfront.Ast.f_loc.Cfront.Loc.line in
+  let last = fn.Cfront.Ast.f_end_line in
+  of_tokens
+    (List.filter
+       (fun (t : Cfront.Token.t) ->
+         let l = t.Cfront.Token.loc.Cfront.Loc.line in
+         l >= first && l <= last)
+       tu.Cfront.Ast.tokens)
+
+(** Maintainability index of one function. *)
+let mi_of_func ~tu (fn : Cfront.Ast.func) =
+  let h = of_func ~tu fn in
+  let cc = float_of_int (Complexity.of_func fn) in
+  let loc =
+    Stdlib.max 1 (fn.Cfront.Ast.f_end_line - fn.Cfront.Ast.f_loc.Cfront.Loc.line + 1)
+  in
+  maintainability_index ~volume:h.volume ~mean_cc:cc ~loc
+
+type module_report = {
+  modname : string;
+  halstead : t;  (** whole-module aggregate *)
+  mi : float;  (** mean per-function maintainability index, as tools report *)
+}
+
+let report_of_module ~modname (pfs : Cfront.Project.parsed_file list) =
+  let h = of_files pfs in
+  let mis =
+    List.concat_map
+      (fun pf ->
+        let tu = pf.Cfront.Project.tu in
+        List.filter_map
+          (fun (fn : Cfront.Ast.func) ->
+            if fn.Cfront.Ast.f_body <> None then Some (mi_of_func ~tu fn) else None)
+          (Cfront.Ast.functions_of_tu tu))
+      pfs
+  in
+  { modname; halstead = h; mi = Util.Stats.mean mis }

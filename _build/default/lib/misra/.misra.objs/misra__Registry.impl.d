@@ -1,0 +1,1 @@
+lib/misra/registry.ml: List Option Rule Rules_control Rules_cuda Rules_extended Rules_functions Rules_preproc Rules_types Rules_wave3 Stdlib Table Util

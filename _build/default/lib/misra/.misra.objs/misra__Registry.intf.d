@@ -1,0 +1,1 @@
+lib/misra/registry.mli: Cfront Rule

@@ -1,0 +1,1 @@
+lib/misra/rule.ml: Cfront List Printf

@@ -1,0 +1,1 @@
+lib/misra/rule.mli: Cfront

@@ -1,0 +1,1 @@
+lib/misra/rules_control.ml: Ast Cfront Hashtbl List Loc Metrics Option Rule Util

@@ -1,0 +1,1 @@
+lib/misra/rules_cuda.ml: Ast Callgraph Cfront List Loc Metrics Project Rule

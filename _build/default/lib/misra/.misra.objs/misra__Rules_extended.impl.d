@@ -1,0 +1,1 @@
+lib/misra/rules_extended.ml: Ast Callgraph Cfront Hashtbl List Metrics Option Project Rule

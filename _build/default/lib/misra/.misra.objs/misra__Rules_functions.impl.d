@@ -1,0 +1,1 @@
+lib/misra/rules_functions.ml: Ast Callgraph Cfront Hashtbl List Metrics Option Rule

@@ -1,0 +1,1 @@
+lib/misra/rules_preproc.ml: Ast Cfront List Loc Preproc Project Rule String Token Util

@@ -1,0 +1,1 @@
+lib/misra/rules_types.ml: Ast Cfront List Metrics Project Rule String Token Util

@@ -1,0 +1,1 @@
+lib/misra/rules_wave3.ml: Ast Cfront Hashtbl List Loc Metrics Project Rule String

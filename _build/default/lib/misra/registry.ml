@@ -1,0 +1,118 @@
+(** Rule registry and whole-project runner. *)
+
+let c_rules =
+  Rules_control.all @ Rules_types.all @ Rules_functions.all @ Rules_preproc.all
+  @ Rules_extended.all @ Rules_wave3.all
+
+let cuda_rules = Rules_cuda.all
+
+let all_rules = c_rules @ cuda_rules
+
+let find_rule id = List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) all_rules
+
+(** A documented deviation, the mechanism MISRA compliance actually uses:
+    a rule may be violated up to [max_instances] times (unbounded when
+    [None]) given a recorded justification.  Deviations of [Mandatory]
+    rules are not permitted and are ignored with a note. *)
+type deviation = {
+  dev_rule : string;
+  justification : string;
+  max_instances : int option;
+}
+
+type deviation_outcome = {
+  deviation : deviation;
+  suppressed : int;  (** violations covered by the deviation *)
+  residual : int;  (** violations beyond [max_instances] *)
+  rejected : bool;  (** deviation targeted a mandatory rule *)
+}
+
+type report = {
+  per_rule : (Rule.t * Rule.violation list) list;
+  total_violations : int;
+  rules_violated : int;
+  rules_checked : int;
+  deviations : deviation_outcome list;
+}
+
+let apply_deviations deviations per_rule =
+  let outcomes = ref [] in
+  let per_rule =
+    List.map
+      (fun ((r : Rule.t), vs) ->
+        match List.find_opt (fun d -> d.dev_rule = r.Rule.id) deviations with
+        | None -> (r, vs)
+        | Some d when r.Rule.category = Rule.Mandatory ->
+          outcomes := { deviation = d; suppressed = 0; residual = List.length vs;
+                        rejected = true } :: !outcomes;
+          (r, vs)
+        | Some d ->
+          let n = List.length vs in
+          let allowed = Option.value ~default:n d.max_instances in
+          let suppressed = Stdlib.min n allowed in
+          outcomes :=
+            { deviation = d; suppressed; residual = n - suppressed;
+              rejected = false }
+            :: !outcomes;
+          (* keep only the residual (oldest-first excess) *)
+          (r, List.filteri (fun i _ -> i >= suppressed) vs))
+      per_rule
+  in
+  (per_rule, List.rev !outcomes)
+
+let run ?(rules = all_rules) ?(deviations = []) ctx =
+  let per_rule = List.map (fun (r : Rule.t) -> (r, r.Rule.check ctx)) rules in
+  let per_rule, outcomes = apply_deviations deviations per_rule in
+  let total_violations =
+    Util.Stats.sum_int (List.map (fun (_, vs) -> List.length vs) per_rule)
+  in
+  {
+    per_rule;
+    total_violations;
+    rules_violated = List.length (List.filter (fun (_, vs) -> vs <> []) per_rule);
+    rules_checked = List.length rules;
+    deviations = outcomes;
+  }
+
+let run_project ?(rules = all_rules) parsed = run ~rules (Rule.build_context parsed)
+
+(** Violations grouped by category. *)
+let by_category report =
+  List.map
+    (fun cat ->
+      let n =
+        Util.Stats.sum_int
+          (List.filter_map
+             (fun ((r : Rule.t), vs) ->
+               if r.Rule.category = cat then Some (List.length vs) else None)
+             report.per_rule)
+      in
+      (cat, n))
+    [ Rule.Mandatory; Rule.Required; Rule.Advisory ]
+
+(** Compliance ratio over rules: rules with zero violations / rules
+    checked.  MISRA compliance is per-rule (a deviation on any instance
+    breaks the rule). *)
+let rule_compliance report =
+  if report.rules_checked = 0 then 1.0
+  else
+    float_of_int (report.rules_checked - report.rules_violated)
+    /. float_of_int report.rules_checked
+
+let render_summary report =
+  let open Util in
+  let t =
+    Table.make ~title:"MISRA C:2012 (subset) compliance summary"
+      ~header:[ "rule"; "category"; "title"; "violations" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Right ]
+      ()
+  in
+  let t =
+    List.fold_left
+      (fun t ((r : Rule.t), vs) ->
+        Table.add_row t
+          [ r.Rule.id; Rule.category_name r.Rule.category; r.Rule.title;
+            string_of_int (List.length vs) ])
+      t report.per_rule
+  in
+  Table.render t

@@ -1,0 +1,56 @@
+(** Rule-engine core types for the MISRA C:2012-style checker.
+
+    Rules are pure functions from an analysis {!context} to a list of
+    {!violation}s.  The context is built once per project, so individual
+    rules stay cheap. *)
+
+type category = Mandatory | Required | Advisory
+
+let category_name = function
+  | Mandatory -> "mandatory"
+  | Required -> "required"
+  | Advisory -> "advisory"
+
+type violation = {
+  rule_id : string;
+  loc : Cfront.Loc.t;
+  message : string;
+}
+
+type context = {
+  files : Cfront.Project.parsed_file list;
+  functions : Cfront.Ast.func list;  (** defined functions, all files *)
+  callgraph : Cfront.Callgraph.t;
+}
+
+type t = {
+  id : string;  (** e.g. "15.1" for MISRA C:2012 rule 15.1, or "CUDA-2" *)
+  title : string;
+  category : category;
+  decidable : bool;
+  check : context -> violation list;
+}
+
+let make ~id ~title ~category ?(decidable = true) check =
+  { id; title; category; decidable; check }
+
+let build_context (parsed : Cfront.Project.parsed) =
+  let functions = Cfront.Project.all_functions parsed in
+  {
+    files = parsed.Cfront.Project.files;
+    functions;
+    callgraph = Cfront.Callgraph.build functions;
+  }
+
+let context_of_files files =
+  let functions =
+    List.concat_map
+      (fun pf ->
+        List.filter
+          (fun (f : Cfront.Ast.func) -> f.Cfront.Ast.f_body <> None)
+          (Cfront.Ast.functions_of_tu pf.Cfront.Project.tu))
+      files
+  in
+  { files; functions; callgraph = Cfront.Callgraph.build functions }
+
+let v ~rule_id ~loc fmt = Printf.ksprintf (fun message -> { rule_id; loc; message }) fmt

@@ -1,0 +1,47 @@
+(** Rule-engine core types for the MISRA C:2012-style checker.
+
+    Rules are pure functions from an analysis {!context} to violations;
+    the context is built once per project so individual rules stay
+    cheap. *)
+
+type category = Mandatory | Required | Advisory
+
+val category_name : category -> string
+
+type violation = {
+  rule_id : string;
+  loc : Cfront.Loc.t;
+  message : string;
+}
+
+type context = {
+  files : Cfront.Project.parsed_file list;
+  functions : Cfront.Ast.func list;  (** defined functions, all files *)
+  callgraph : Cfront.Callgraph.t;
+}
+
+type t = {
+  id : string;  (** e.g. "15.1" (MISRA C:2012) or "CUDA-2" (extension) *)
+  title : string;
+  category : category;
+  decidable : bool;
+  check : context -> violation list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  category:category ->
+  ?decidable:bool ->
+  (context -> violation list) ->
+  t
+
+val build_context : Cfront.Project.parsed -> context
+val context_of_files : Cfront.Project.parsed_file list -> context
+
+(** Printf-style violation constructor. *)
+val v :
+  rule_id:string ->
+  loc:Cfront.Loc.t ->
+  ('a, unit, string, violation) format4 ->
+  'a

@@ -1,0 +1,208 @@
+(** Function- and memory-related rules (MISRA C:2012 sections 17-21). *)
+
+open Cfront
+
+let each_func (ctx : Rule.context) f = List.concat_map f ctx.Rule.functions
+
+(* 17.1: the features of <stdarg.h> shall not be used. *)
+let r17_1 =
+  Rule.make ~id:"17.1" ~title:"no variadic functions" ~category:Rule.Required
+    (fun ctx ->
+      List.concat_map
+        (fun (fn : Ast.func) ->
+          let variadic =
+            List.exists (fun p -> p.Ast.p_name = "...") fn.Ast.f_params
+          in
+          let uses_va =
+            let found = ref false in
+            Ast.iter_exprs_of_func
+              (fun e ->
+                match e.Ast.e with
+                | Ast.Call ({ e = Ast.Id ("va_start" | "va_arg" | "va_end"); _ }, _) ->
+                  found := true
+                | _ -> ())
+              fn;
+            !found
+          in
+          if variadic || uses_va then
+            [ Rule.v ~rule_id:"17.1" ~loc:fn.Ast.f_loc "variadic function %s"
+                (Ast.qualified_name fn) ]
+          else [])
+        ctx.Rule.functions)
+
+(* 17.2: functions shall not call themselves, directly or indirectly. *)
+let r17_2 =
+  Rule.make ~id:"17.2" ~title:"no recursion" ~category:Rule.Required (fun ctx ->
+      let recursive = Callgraph.recursive_functions ctx.Rule.callgraph in
+      List.filter_map
+        (fun (fn : Ast.func) ->
+          let q = Ast.qualified_name fn in
+          if List.mem q recursive then
+            Some (Rule.v ~rule_id:"17.2" ~loc:fn.Ast.f_loc "%s is recursive" q)
+          else None)
+        ctx.Rule.functions)
+
+(* 17.7: the value returned by a non-void function shall be used. *)
+let r17_7 =
+  Rule.make ~id:"17.7" ~title:"return values shall be used" ~category:Rule.Required
+    (fun ctx ->
+      List.map
+        (fun (caller, callee, loc) ->
+          Rule.v ~rule_id:"17.7" ~loc "%s discards return value of %s" caller callee)
+        (Metrics.Defensive.ignored_returns ~funcs:ctx.Rule.functions ctx.Rule.functions))
+
+(* 17.8: a function parameter should not be modified. *)
+let r17_8 =
+  Rule.make ~id:"17.8" ~title:"function parameters shall not be modified"
+    ~category:Rule.Advisory (fun ctx ->
+      each_func ctx (fun fn ->
+          let params = List.map (fun p -> p.Ast.p_name) fn.Ast.f_params in
+          let acc = ref [] in
+          Ast.iter_exprs_of_func
+            (fun e ->
+              match e.Ast.e with
+              | Ast.Assign (_, { e = Ast.Id name; _ }, _)
+              | Ast.Unary ((Ast.Pre_inc | Ast.Pre_dec), { e = Ast.Id name; _ })
+              | Ast.Postfix (_, { e = Ast.Id name; _ })
+                when List.mem name params ->
+                acc :=
+                  Rule.v ~rule_id:"17.8" ~loc:e.Ast.eloc
+                    "parameter %s modified in %s" name (Ast.qualified_name fn)
+                  :: !acc
+              | _ -> ())
+            fn;
+          List.rev !acc))
+
+(* 21.3: the memory allocation functions of <stdlib.h> shall not be used. *)
+let r21_3 =
+  Rule.make ~id:"21.3" ~title:"no dynamic heap allocation" ~category:Rule.Required
+    (fun ctx ->
+      List.map
+        (fun (a : Metrics.Pointers.dyn_alloc) ->
+          Rule.v ~rule_id:"21.3" ~loc:a.Metrics.Pointers.loc "%s used in %s"
+            a.Metrics.Pointers.site a.Metrics.Pointers.in_function)
+        (Metrics.Pointers.dyn_allocs_of_functions ctx.Rule.functions))
+
+(* 21.6: the standard I/O functions shall not be used. *)
+let r21_6 =
+  Rule.make ~id:"21.6" ~title:"no standard I/O in production code"
+    ~category:Rule.Required (fun ctx ->
+      let stdio = [ "printf"; "fprintf"; "sprintf"; "scanf"; "fscanf"; "gets"; "puts" ] in
+      each_func ctx (fun fn ->
+          let acc = ref [] in
+          Ast.iter_exprs_of_func
+            (fun e ->
+              match e.Ast.e with
+              | Ast.Call ({ e = Ast.Id name; _ }, _) when List.mem name stdio ->
+                acc :=
+                  Rule.v ~rule_id:"21.6" ~loc:e.Ast.eloc "%s called in %s" name
+                    (Ast.qualified_name fn)
+                  :: !acc
+              | _ -> ())
+            fn;
+          List.rev !acc))
+
+(* 21.8: the termination functions of <stdlib.h> shall not be used. *)
+let r21_8 =
+  Rule.make ~id:"21.8" ~title:"no abort/exit/system" ~category:Rule.Required
+    (fun ctx ->
+      let banned = [ "abort"; "exit"; "_Exit"; "quick_exit"; "system" ] in
+      each_func ctx (fun fn ->
+          let acc = ref [] in
+          Ast.iter_exprs_of_func
+            (fun e ->
+              match e.Ast.e with
+              | Ast.Call ({ e = Ast.Id name; _ }, _) when List.mem name banned ->
+                acc :=
+                  Rule.v ~rule_id:"21.8" ~loc:e.Ast.eloc "%s called in %s" name
+                    (Ast.qualified_name fn)
+                  :: !acc
+              | _ -> ())
+            fn;
+          List.rev !acc))
+
+(* 8.10: an inline function shall also be static. *)
+let r8_10 =
+  Rule.make ~id:"8.10" ~title:"inline functions shall be static"
+    ~category:Rule.Required (fun ctx ->
+      List.filter_map
+        (fun (fn : Ast.func) ->
+          if List.mem Ast.Q_inline fn.Ast.f_quals
+             && not (List.mem Ast.Q_static fn.Ast.f_quals)
+          then
+            Some
+              (Rule.v ~rule_id:"8.10" ~loc:fn.Ast.f_loc
+                 "inline function %s is not static" (Ast.qualified_name fn))
+          else None)
+        ctx.Rule.functions)
+
+(* 2.7: there should be no unused parameters. *)
+let r2_7 =
+  Rule.make ~id:"2.7" ~title:"no unused parameters" ~category:Rule.Advisory
+    (fun ctx ->
+      each_func ctx (fun fn ->
+          match fn.Ast.f_body with
+          | None -> []
+          | Some _ ->
+            let used = Hashtbl.create 8 in
+            Ast.iter_exprs_of_func
+              (fun e ->
+                match e.Ast.e with
+                | Ast.Id name -> Hashtbl.replace used name ()
+                | _ -> ())
+              fn;
+            List.filter_map
+              (fun (p : Ast.param) ->
+                if p.Ast.p_name <> "" && p.Ast.p_name <> "..."
+                   && not (Hashtbl.mem used p.Ast.p_name)
+                then
+                  Some
+                    (Rule.v ~rule_id:"2.7" ~loc:fn.Ast.f_loc
+                       "unused parameter %s in %s" p.Ast.p_name
+                       (Ast.qualified_name fn))
+                else None)
+              fn.Ast.f_params))
+
+(* 8.9: an object should be declared at block scope if only used in one
+   function. *)
+let r8_9 =
+  Rule.make ~id:"8.9" ~title:"globals used by a single function shall be local"
+    ~category:Rule.Advisory (fun ctx ->
+      let globals = Metrics.Globals.of_files ctx.Rule.files in
+      let users = Hashtbl.create 64 in
+      List.iter
+        (fun (fn : Ast.func) ->
+          Ast.iter_exprs_of_func
+            (fun e ->
+              match e.Ast.e with
+              | Ast.Id name ->
+                let cur = Option.value ~default:[] (Hashtbl.find_opt users name) in
+                let q = Ast.qualified_name fn in
+                if not (List.mem q cur) then Hashtbl.replace users name (q :: cur)
+              | _ -> ())
+            fn)
+        ctx.Rule.functions;
+      List.filter_map
+        (fun (g : Metrics.Globals.record) ->
+          match Hashtbl.find_opt users g.Metrics.Globals.name with
+          | Some [ only ] ->
+            Some
+              (Rule.v ~rule_id:"8.9" ~loc:g.Metrics.Globals.loc
+                 "global %s used only by %s" g.Metrics.Globals.name only)
+          | _ -> None)
+        globals)
+
+(* 21.x addition in spirit: uninitialized reads (9.1 "the value of an
+   object with automatic storage duration shall not be read before it has
+   been set"). *)
+let r9_1 =
+  Rule.make ~id:"9.1" ~title:"no read of uninitialized automatic objects"
+    ~category:Rule.Mandatory (fun ctx ->
+      List.map
+        (fun (f : Metrics.Uninit.finding) ->
+          Rule.v ~rule_id:"9.1" ~loc:f.Metrics.Uninit.use_loc
+            "%s may be read uninitialized in %s" f.Metrics.Uninit.var
+            f.Metrics.Uninit.in_function)
+        (Metrics.Uninit.of_functions ctx.Rule.functions))
+
+let all = [ r2_7; r8_9; r8_10; r9_1; r17_1; r17_2; r17_7; r17_8; r21_3; r21_6; r21_8 ]

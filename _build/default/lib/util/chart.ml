@@ -1,0 +1,65 @@
+(** Horizontal ASCII bar charts, for rendering the paper's figures as
+    terminal graphics next to the exact tables. *)
+
+type series = { label : string; value : float }
+
+let bar ~width ~max_value value =
+  if max_value <= 0.0 then ""
+  else
+    let n =
+      int_of_float (Float.round (float_of_int width *. value /. max_value))
+    in
+    String.make (Stdlib.max 0 (Stdlib.min width n)) '#'
+
+(** Render one bar per entry, scaled to the maximum value.
+    [value_fmt] formats the numeric annotation (default [%.1f]). *)
+let render ?(width = 50) ?(value_fmt = fun v -> Printf.sprintf "%.1f" v) ~title
+    (entries : series list) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  let label_w =
+    List.fold_left (fun acc e -> Stdlib.max acc (String.length e.label)) 0 entries
+  in
+  let max_value = List.fold_left (fun acc e -> Stdlib.max acc e.value) 0.0 entries in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%s |%-*s %s\n" e.label
+           (String.make (label_w - String.length e.label) ' ')
+           width
+           (bar ~width ~max_value e.value)
+           (value_fmt e.value)))
+    entries;
+  Buffer.contents buf
+
+(** Grouped bars: one block per group, one bar per series within it. *)
+let render_grouped ?(width = 40) ?(value_fmt = fun v -> Printf.sprintf "%.1f" v)
+    ~title (groups : (string * series list) list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  let max_value =
+    List.fold_left
+      (fun acc (_, ss) ->
+        List.fold_left (fun a s -> Stdlib.max a s.value) acc ss)
+      0.0 groups
+  in
+  let label_w =
+    List.fold_left
+      (fun acc (_, ss) ->
+        List.fold_left (fun a s -> Stdlib.max a (String.length s.label)) acc ss)
+      0 groups
+  in
+  List.iter
+    (fun (group, ss) ->
+      Buffer.add_string buf ("  " ^ group ^ "\n");
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s%s |%-*s %s\n" s.label
+               (String.make (label_w - String.length s.label) ' ')
+               width
+               (bar ~width ~max_value s.value)
+               (value_fmt s.value)))
+        ss)
+    groups;
+  Buffer.contents buf

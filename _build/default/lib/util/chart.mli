@@ -1,0 +1,23 @@
+(** Horizontal ASCII bar charts, for rendering the paper's figures as
+    terminal graphics next to the exact tables. *)
+
+type series = { label : string; value : float }
+
+(** One bar per entry, scaled so the maximum value fills [width]
+    (default 50) characters.  [value_fmt] formats the numeric annotation
+    at the end of each bar (default ["%.1f"]). *)
+val render :
+  ?width:int ->
+  ?value_fmt:(float -> string) ->
+  title:string ->
+  series list ->
+  string
+
+(** Grouped bars: one block per group, one bar per series within it, all
+    sharing one scale. *)
+val render_grouped :
+  ?width:int ->
+  ?value_fmt:(float -> string) ->
+  title:string ->
+  (string * series list) list ->
+  string

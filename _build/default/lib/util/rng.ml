@@ -1,0 +1,87 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    Every experiment in this repository must be bit-reproducible, so we do
+    not use [Stdlib.Random] anywhere.  This is a SplitMix64 generator: a
+    64-bit state advanced by a Weyl increment and finalized with a
+    Murmur3-style mixer.  [split] derives an independent stream, which lets
+    the corpus generator hand a private stream to every module/file/function
+    without any cross-contamination when one part of the generator changes. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix64 seed }
+
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** [range t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+let range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [chance t p] is true with probability [p]. *)
+let chance t p = float t 1.0 < p
+
+(** [pick t xs] draws a uniformly random element of the non-empty list. *)
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let pick_array t xs =
+  if Array.length xs = 0 then invalid_arg "Rng.pick_array: empty array";
+  xs.(int t (Array.length xs))
+
+(** [weighted t choices] draws from [(weight, value)] pairs with probability
+    proportional to weight.  Weights must be non-negative and sum > 0. *)
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Rng.weighted: weights sum to zero";
+  let x = float t total in
+  let rec go acc = function
+    | [] -> snd (List.nth choices (List.length choices - 1))
+    | (w, v) :: rest -> if x < acc +. w then v else go (acc +. w) rest
+  in
+  go 0.0 choices
+
+(** Gaussian draw via Box-Muller (one value per call; the pair's second
+    member is discarded to keep the stream layout simple). *)
+let gaussian t ~mean ~stddev =
+  let u1 = Stdlib.max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(** Shuffle a copy of the list (Fisher-Yates over an array). *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

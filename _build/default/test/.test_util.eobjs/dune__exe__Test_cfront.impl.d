@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Bytes Cfront Char Corpus List Printf QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Cfront Corpus Coverage Cudasim Lazy List Metrics Misra Util

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Cfront Corpus Coverage Int64 List Printf QCheck QCheck_alcotest Stdlib Util

@@ -1,0 +1,1 @@
+test/test_dnn_gpuperf.ml: Alcotest Dnn Gpuperf Lazy List QCheck QCheck_alcotest Util

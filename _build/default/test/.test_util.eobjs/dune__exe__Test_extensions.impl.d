@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cfront Corpus Coverage Cudasim Gpuperf Iso26262 Lazy List Metrics Misra Option Util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Corpus Coverage Gpuperf Iso26262 Lazy List Metrics Misra Util

@@ -1,0 +1,1 @@
+test/test_iso26262.ml: Alcotest Cfront Corpus Cudasim Gpuperf Iso26262 Lazy List Option String Util

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Cfront Corpus List Metrics QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_misra.ml: Alcotest Cfront Corpus List Misra Option Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fun Gen List QCheck QCheck_alcotest String Util

@@ -1,0 +1,574 @@
+(* Tests for the C/C++/CUDA front-end: lexer, preprocessor, parser,
+   pretty-printer, call graph. *)
+
+let lex src = (Cfront.Lexer.tokenize ~file:"t.c" src).Cfront.Lexer.tokens
+
+let kinds src =
+  List.filter_map
+    (fun (t : Cfront.Token.t) ->
+      match t.Cfront.Token.kind with Cfront.Token.Eof -> None | k -> Some k)
+    (lex src)
+
+let parse src = Cfront.Parser.parse_file ~file:"t.cc" src
+
+let parse_clean src =
+  let tu = parse src in
+  Alcotest.(check (list string)) "no diagnostics" [] tu.Cfront.Ast.diags;
+  tu
+
+let first_func tu =
+  match Cfront.Ast.functions_of_tu tu with
+  | f :: _ -> f
+  | [] -> Alcotest.fail "expected a function"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lex_idents_keywords () =
+  match kinds "int foo" with
+  | [ Cfront.Token.Keyword "int"; Cfront.Token.Ident "foo" ] -> ()
+  | ks -> Alcotest.failf "unexpected: %s" (String.concat ";" (List.map Cfront.Token.kind_to_string ks))
+
+let test_lex_int_literals () =
+  (match kinds "42 0x1F 7u 100L" with
+   | [ Cfront.Token.Int_lit (42L, _); Cfront.Token.Int_lit (31L, _);
+       Cfront.Token.Int_lit (7L, _); Cfront.Token.Int_lit (100L, _) ] -> ()
+   | _ -> Alcotest.fail "int literals")
+
+let test_lex_float_literals () =
+  match kinds "1.5 2e3 0.5f 3." with
+  | [ Cfront.Token.Float_lit (a, _); Cfront.Token.Float_lit (b, _);
+      Cfront.Token.Float_lit (c, _); Cfront.Token.Float_lit (d, _) ] ->
+    Alcotest.(check (float 1e-9)) "1.5" 1.5 a;
+    Alcotest.(check (float 1e-9)) "2e3" 2000.0 b;
+    Alcotest.(check (float 1e-9)) "0.5f" 0.5 c;
+    Alcotest.(check (float 1e-9)) "3." 3.0 d
+  | _ -> Alcotest.fail "float literals"
+
+let test_lex_string_escapes () =
+  match kinds {|"a\nb"|} with
+  | [ Cfront.Token.String_lit "a\nb" ] -> ()
+  | _ -> Alcotest.fail "string escape"
+
+let test_lex_char_literal () =
+  match kinds "'x' '\\n'" with
+  | [ Cfront.Token.Char_lit 'x'; Cfront.Token.Char_lit '\n' ] -> ()
+  | _ -> Alcotest.fail "char literals"
+
+let test_lex_comments_counted () =
+  let r = Cfront.Lexer.tokenize ~file:"t.c" "int a; // one\n/* two\nthree */ int b;" in
+  Alcotest.(check int) "comment lines" 3 r.Cfront.Lexer.comment_lines;
+  Alcotest.(check int) "tokens survive" 7 (List.length r.Cfront.Lexer.tokens)
+
+let test_lex_multichar_puncts () =
+  match kinds "<<< >>> <<= :: -> && ||" with
+  | [ Cfront.Token.Punct "<<<"; Cfront.Token.Punct ">>>"; Cfront.Token.Punct "<<=";
+      Cfront.Token.Punct "::"; Cfront.Token.Punct "->"; Cfront.Token.Punct "&&";
+      Cfront.Token.Punct "||" ] -> ()
+  | _ -> Alcotest.fail "punctuators"
+
+let test_lex_unterminated_string_diag () =
+  let r = Cfront.Lexer.tokenize ~file:"t.c" "\"oops" in
+  Alcotest.(check bool) "diagnostic emitted" true (r.Cfront.Lexer.diagnostics <> [])
+
+let test_lex_locations () =
+  match lex "a\n  b" with
+  | [ t1; t2; _eof ] ->
+    Alcotest.(check int) "a line" 1 t1.Cfront.Token.loc.Cfront.Loc.line;
+    Alcotest.(check int) "b line" 2 t2.Cfront.Token.loc.Cfront.Loc.line;
+    Alcotest.(check int) "b col" 3 t2.Cfront.Token.loc.Cfront.Loc.col
+  | _ -> Alcotest.fail "locations"
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessor                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_preproc_includes () =
+  let r = Cfront.Preproc.run ~file:"t.c" "#include <math.h>\n#include \"foo.h\"\nint a;" in
+  let incs =
+    List.filter_map
+      (fun (_, d) ->
+        match d with
+        | Cfront.Preproc.Include { path; system } -> Some (path, system)
+        | _ -> None)
+      r.Cfront.Preproc.directives
+  in
+  Alcotest.(check (list (pair string bool))) "includes"
+    [ ("math.h", true); ("foo.h", false) ] incs
+
+let test_preproc_line_preservation () =
+  (* stripped directives must keep later tokens on their original lines *)
+  let r = Cfront.Preproc.run ~file:"t.c" "#define X 1\n#include <a.h>\nint a;" in
+  let toks = (Cfront.Lexer.tokenize ~file:"t.c" r.Cfront.Preproc.text).Cfront.Lexer.tokens in
+  (match toks with
+   | t :: _ -> Alcotest.(check int) "int on line 3" 3 t.Cfront.Token.loc.Cfront.Loc.line
+   | [] -> Alcotest.fail "no tokens")
+
+let test_preproc_ifdef () =
+  let src = "#define FEATURE 1\n#ifdef FEATURE\nint yes;\n#else\nint no;\n#endif" in
+  let r = Cfront.Preproc.run ~file:"t.c" src in
+  Alcotest.(check bool) "keeps taken branch" true
+    (Util.Strutil.contains_sub ~sub:"yes" r.Cfront.Preproc.text);
+  Alcotest.(check bool) "drops other branch" false
+    (Util.Strutil.contains_sub ~sub:"no" r.Cfront.Preproc.text)
+
+let test_preproc_if_zero () =
+  let r = Cfront.Preproc.run ~file:"t.c" "#if 0\nint dead;\n#endif\nint live;" in
+  Alcotest.(check bool) "drops #if 0" false
+    (Util.Strutil.contains_sub ~sub:"dead" r.Cfront.Preproc.text);
+  Alcotest.(check bool) "keeps rest" true
+    (Util.Strutil.contains_sub ~sub:"live" r.Cfront.Preproc.text)
+
+let test_preproc_nested_conditions () =
+  let src = "#if 1\n#if 0\nint a;\n#endif\nint b;\n#endif" in
+  let r = Cfront.Preproc.run ~file:"t.c" src in
+  Alcotest.(check bool) "inner dropped" false
+    (Util.Strutil.contains_sub ~sub:"int a" r.Cfront.Preproc.text);
+  Alcotest.(check bool) "outer kept" true
+    (Util.Strutil.contains_sub ~sub:"int b" r.Cfront.Preproc.text)
+
+let test_preproc_macro_expansion () =
+  let tu = parse_clean "#define BLOCK 256\nint size = BLOCK * 2;" in
+  match Cfront.Ast.globals_of_tu tu with
+  | [ g ] -> (
+      match g.Cfront.Ast.g_decl.Cfront.Ast.v_init with
+      | Some { e = Cfront.Ast.Binary (Cfront.Ast.Mul, { e = Cfront.Ast.Int_const 256L; _ }, _); _ } -> ()
+      | _ -> Alcotest.fail "macro not substituted")
+  | _ -> Alcotest.fail "expected one global"
+
+let test_preproc_recursive_macro_terminates () =
+  let r = Cfront.Preproc.run ~file:"t.c" "#define A A\nint x = A;" in
+  let lexed = Cfront.Lexer.tokenize ~file:"t.c" r.Cfront.Preproc.text in
+  let toks = Cfront.Preproc.expand_macros ~defines:[ ("A", "A") ] lexed.Cfront.Lexer.tokens in
+  Alcotest.(check bool) "terminates" true (List.length toks > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: declarations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_function_signature () =
+  let tu = parse_clean "float Dot(const float* a, const float* b, int n) { return 0.0f; }" in
+  let f = first_func tu in
+  Alcotest.(check string) "name" "Dot" f.Cfront.Ast.f_name;
+  Alcotest.(check int) "params" 3 (List.length f.Cfront.Ast.f_params);
+  (match f.Cfront.Ast.f_ret with
+   | Cfront.Ast.Tfloat -> ()
+   | t -> Alcotest.failf "return type %s" (Cfront.Ast.type_to_string t))
+
+let test_parse_namespace_scoping () =
+  let tu = parse_clean "namespace apollo {\nnamespace perception {\nint F(int a) { return a; }\n}\n}" in
+  let f = first_func tu in
+  Alcotest.(check string) "qualified" "apollo::perception::F" (Cfront.Ast.qualified_name f)
+
+let test_parse_qualified_definition () =
+  let tu = parse_clean "int Tracker::Update(int x) { return x; }" in
+  let f = first_func tu in
+  Alcotest.(check string) "scope from name" "Tracker::Update" (Cfront.Ast.qualified_name f)
+
+let test_parse_globals () =
+  let tu = parse_clean "static int g_count = 0;\nconst int kMax = 5;\nextern int g_other;\ndouble g_a, g_b = 1.5;" in
+  let gs = Cfront.Ast.globals_of_tu tu in
+  Alcotest.(check int) "five declarators" 5 (List.length gs);
+  let count = List.find (fun (g : Cfront.Ast.global_var) -> g.Cfront.Ast.g_decl.Cfront.Ast.v_name = "g_count") gs in
+  Alcotest.(check bool) "static" true count.Cfront.Ast.g_static;
+  let kmax = List.find (fun (g : Cfront.Ast.global_var) -> g.Cfront.Ast.g_decl.Cfront.Ast.v_name = "kMax") gs in
+  Alcotest.(check bool) "const" true kmax.Cfront.Ast.g_const;
+  let other = List.find (fun (g : Cfront.Ast.global_var) -> g.Cfront.Ast.g_decl.Cfront.Ast.v_name = "g_other") gs in
+  Alcotest.(check bool) "extern" true other.Cfront.Ast.g_extern
+
+let test_parse_struct () =
+  let tu = parse_clean "struct Box {\n  float x;\n  float w, h;\n  int Area() { return 0; }\n};" in
+  match Cfront.Ast.records_of_tu tu with
+  | [ r ] ->
+    Alcotest.(check string) "name" "Box" r.Cfront.Ast.r_name;
+    Alcotest.(check int) "fields" 3 (List.length r.Cfront.Ast.r_fields);
+    Alcotest.(check int) "methods" 1 (List.length r.Cfront.Ast.r_methods)
+  | _ -> Alcotest.fail "one record"
+
+let test_parse_class_access_and_ctor () =
+  let src =
+    "class Tracker {\n public:\n  Tracker(int id) { id_ = id; }\n  int Id() { return id_; }\n private:\n  int id_;\n};"
+  in
+  let tu = parse_clean src in
+  match Cfront.Ast.records_of_tu tu with
+  | [ r ] ->
+    Alcotest.(check int) "ctor + method" 2 (List.length r.Cfront.Ast.r_methods);
+    (match r.Cfront.Ast.r_fields with
+     | [ (access, d) ] ->
+       Alcotest.(check string) "field" "id_" d.Cfront.Ast.v_name;
+       Alcotest.(check bool) "private" true (access = Cfront.Ast.Priv)
+     | _ -> Alcotest.fail "one field")
+  | _ -> Alcotest.fail "one record"
+
+let test_parse_enum () =
+  let tu = parse_clean "enum Mode { IDLE, ACTIVE = 5, DONE };" in
+  let found = ref false in
+  Cfront.Ast.iter_tops
+    (fun top ->
+      match top with
+      | Cfront.Ast.Tenum e ->
+        found := true;
+        Alcotest.(check (list (pair string (option int)))) "items"
+          [ ("IDLE", None); ("ACTIVE", Some 5); ("DONE", None) ]
+          e.Cfront.Ast.en_items
+      | _ -> ())
+    tu.Cfront.Ast.tops;
+  Alcotest.(check bool) "enum found" true !found
+
+let test_parse_typedef_registers_type () =
+  let tu = parse_clean "typedef float real;\nreal Scale(real x) { return x; }" in
+  let f = first_func tu in
+  (match (List.hd f.Cfront.Ast.f_params).Cfront.Ast.p_type with
+   | Cfront.Ast.Tnamed "real" -> ()
+   | _ -> Alcotest.fail "typedef name used as type")
+
+let test_parse_template_skipped () =
+  let tu = parse_clean "template <typename T>\nint Sum(int n) { return n; }" in
+  Alcotest.(check int) "function parsed" 1 (List.length (Cfront.Ast.functions_of_tu tu))
+
+let test_parse_tolerant_recovery () =
+  let tu = parse "@@garbage@@;\nint Good(int a) { return a; }" in
+  Alcotest.(check bool) "diagnostic" true (tu.Cfront.Ast.diags <> []);
+  Alcotest.(check int) "recovered function" 1
+    (List.length (Cfront.Ast.functions_of_tu tu));
+  let unparsed =
+    List.exists
+      (fun top -> match top with Cfront.Ast.Tunparsed _ -> true | _ -> false)
+      tu.Cfront.Ast.tops
+  in
+  Alcotest.(check bool) "unparsed region recorded" true unparsed
+
+let test_parse_cuda_qualifiers () =
+  let tu = parse_clean "__global__ void K(float* p, int n) {\n  int i = threadIdx.x;\n  if (i < n) { p[i] = 0.0f; }\n}" in
+  let f = first_func tu in
+  Alcotest.(check bool) "kernel" true (List.mem Cfront.Ast.Q_global f.Cfront.Ast.f_quals)
+
+let test_parse_device_global_var () =
+  let tu = parse_clean "__device__ float d_bias = 0.5f;" in
+  match Cfront.Ast.globals_of_tu tu with
+  | [ g ] -> Alcotest.(check bool) "device" true g.Cfront.Ast.g_device
+  | _ -> Alcotest.fail "one global"
+
+(* ------------------------------------------------------------------ *)
+(* Parser: statements and expressions                                   *)
+(* ------------------------------------------------------------------ *)
+
+let body_stmts src =
+  let tu = parse_clean (Printf.sprintf "void F() {\n%s\n}" src) in
+  match (first_func tu).Cfront.Ast.f_body with
+  | Some { s = Cfront.Ast.Sblock ss; _ } -> ss
+  | _ -> Alcotest.fail "expected block body"
+
+let test_parse_precedence () =
+  match body_stmts "int x = 1 + 2 * 3;" with
+  | [ { s = Cfront.Ast.Sdecl [ d ]; _ } ] -> (
+      match d.Cfront.Ast.v_init with
+      | Some { e = Cfront.Ast.Binary (Cfront.Ast.Add, _,
+                                      { e = Cfront.Ast.Binary (Cfront.Ast.Mul, _, _); _ }); _ } -> ()
+      | _ -> Alcotest.fail "mul binds tighter than add")
+  | _ -> Alcotest.fail "decl expected"
+
+let test_parse_logical_precedence () =
+  match body_stmts "int x = 1 || 0 && 0;" with
+  | [ { s = Cfront.Ast.Sdecl [ d ]; _ } ] -> (
+      match d.Cfront.Ast.v_init with
+      | Some { e = Cfront.Ast.Binary (Cfront.Ast.Lor, _,
+                                      { e = Cfront.Ast.Binary (Cfront.Ast.Land, _, _); _ }); _ } -> ()
+      | _ -> Alcotest.fail "&& binds tighter than ||")
+  | _ -> Alcotest.fail "decl expected"
+
+let test_parse_casts () =
+  match body_stmts "float f = 2.5f; int a = (int)f; float b = static_cast<float>(a);" with
+  | [ _; { s = Cfront.Ast.Sdecl [ d1 ]; _ }; { s = Cfront.Ast.Sdecl [ d2 ]; _ } ] ->
+    (match d1.Cfront.Ast.v_init with
+     | Some { e = Cfront.Ast.C_cast (Cfront.Ast.Tint _, _); _ } -> ()
+     | _ -> Alcotest.fail "C cast");
+    (match d2.Cfront.Ast.v_init with
+     | Some { e = Cfront.Ast.Cpp_cast (Cfront.Ast.Static_cast, Cfront.Ast.Tfloat, _); _ } -> ()
+     | _ -> Alcotest.fail "static_cast")
+  | _ -> Alcotest.fail "three decls"
+
+let test_parse_paren_not_cast () =
+  (* (n) * x where n is not a type must be multiplication *)
+  match body_stmts "int n = 2; int x = 3; int y = (n) * x;" with
+  | [ _; _; { s = Cfront.Ast.Sdecl [ d ]; _ } ] -> (
+      match d.Cfront.Ast.v_init with
+      | Some { e = Cfront.Ast.Binary (Cfront.Ast.Mul, _, _); _ } -> ()
+      | _ -> Alcotest.fail "parsed as cast, expected multiplication")
+  | _ -> Alcotest.fail "three decls"
+
+let test_parse_kernel_launch () =
+  match body_stmts "K<<<2, 64>>>(1, 2);" with
+  | [ { s = Cfront.Ast.Sexpr { e = Cfront.Ast.Kernel_launch { grid; block; args; _ }; _ }; _ } ] ->
+    (match (grid.Cfront.Ast.e, block.Cfront.Ast.e) with
+     | Cfront.Ast.Int_const 2L, Cfront.Ast.Int_const 64L -> ()
+     | _ -> Alcotest.fail "launch config");
+    Alcotest.(check int) "args" 2 (List.length args)
+  | _ -> Alcotest.fail "kernel launch"
+
+let test_parse_new_delete () =
+  match body_stmts "float* p = new float[10]; delete[] p;" with
+  | [ { s = Cfront.Ast.Sdecl [ d ]; _ };
+      { s = Cfront.Ast.Sexpr { e = Cfront.Ast.Delete { array = true; _ }; _ }; _ } ] -> (
+      match d.Cfront.Ast.v_init with
+      | Some { e = Cfront.Ast.New { array_size = Some _; _ }; _ } -> ()
+      | _ -> Alcotest.fail "new[]")
+  | _ -> Alcotest.fail "new/delete"
+
+let test_parse_sizeof () =
+  match body_stmts "int a = sizeof(float); int b = sizeof a;" with
+  | [ { s = Cfront.Ast.Sdecl [ d1 ]; _ }; { s = Cfront.Ast.Sdecl [ d2 ]; _ } ] ->
+    (match d1.Cfront.Ast.v_init with
+     | Some { e = Cfront.Ast.Sizeof_type Cfront.Ast.Tfloat; _ } -> ()
+     | _ -> Alcotest.fail "sizeof(type)");
+    (match d2.Cfront.Ast.v_init with
+     | Some { e = Cfront.Ast.Sizeof_expr _; _ } -> ()
+     | _ -> Alcotest.fail "sizeof expr")
+  | _ -> Alcotest.fail "two decls"
+
+let test_parse_for_variants () =
+  let ss = body_stmts "for (int i = 0; i < 3; ++i) { }\nfor (;;) { break; }" in
+  match ss with
+  | [ { s = Cfront.Ast.Sfor { init = Cfront.Ast.Fi_decl _; cond = Some _; update = Some _; _ }; _ };
+      { s = Cfront.Ast.Sfor { init = Cfront.Ast.Fi_empty; cond = None; update = None; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "for variants"
+
+let test_parse_switch_and_labels () =
+  let ss = body_stmts "switch (1) { case 0: break; default: break; }\ngoto end;\nend: return;" in
+  Alcotest.(check int) "three statements" 3 (List.length ss);
+  (match List.nth ss 2 with
+   | { s = Cfront.Ast.Slabel ("end", { s = Cfront.Ast.Sreturn None; _ }); _ } -> ()
+   | _ -> Alcotest.fail "label")
+
+let test_parse_do_while () =
+  match body_stmts "int i = 0; do { i++; } while (i < 3);" with
+  | [ _; { s = Cfront.Ast.Sdo_while (_, _); _ } ] -> ()
+  | _ -> Alcotest.fail "do-while"
+
+let test_parse_try_catch () =
+  match body_stmts "try { throw 1; } catch (int e) { return; }" with
+  | [ { s = Cfront.Ast.Stry { catches = [ _ ]; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "try/catch"
+
+let test_parse_ternary_and_comma () =
+  match body_stmts "int a = 1 ? 2 : 3; a = 1, a = 2;" with
+  | [ { s = Cfront.Ast.Sdecl [ d ]; _ };
+      { s = Cfront.Ast.Sexpr { e = Cfront.Ast.Binary (Cfront.Ast.Comma, _, _); _ }; _ } ] -> (
+      match d.Cfront.Ast.v_init with
+      | Some { e = Cfront.Ast.Ternary _; _ } -> ()
+      | _ -> Alcotest.fail "ternary")
+  | _ -> Alcotest.fail "ternary/comma"
+
+let test_parse_member_chains () =
+  match body_stmts "obj.field = ptr->next;" with
+  | [ { s = Cfront.Ast.Sexpr
+            { e = Cfront.Ast.Assign (_, { e = Cfront.Ast.Member { arrow = false; field = "field"; _ }; _ },
+                                     { e = Cfront.Ast.Member { arrow = true; field = "next"; _ }; _ }); _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "member access"
+
+let test_parse_extern_c () =
+  let tu = parse_clean "extern \"C\" int CApi(int x);" in
+  let f = first_func tu in
+  Alcotest.(check bool) "extern" true (List.mem Cfront.Ast.Q_extern f.Cfront.Ast.f_quals);
+  Alcotest.(check bool) "prototype" true (f.Cfront.Ast.f_body = None)
+
+let test_unique_ids_across_tus () =
+  let tu1 = parse "int A() { return 1; }" in
+  let tu2 = parse "int B() { return 2; }" in
+  let ids tu =
+    let acc = ref [] in
+    List.iter
+      (fun f ->
+        Cfront.Ast.iter_exprs_of_func (fun e -> acc := e.Cfront.Ast.eid :: !acc) f)
+      (Cfront.Ast.functions_of_tu tu);
+    !acc
+  in
+  let shared = List.filter (fun i -> List.mem i (ids tu2)) (ids tu1) in
+  Alcotest.(check (list int)) "no id collisions" [] shared
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer round trip                                            *)
+(* ------------------------------------------------------------------ *)
+
+let structural_counts tu =
+  let fns = Cfront.Ast.functions_of_tu tu in
+  let stmts = ref 0 in
+  List.iter
+    (fun (f : Cfront.Ast.func) ->
+      match f.Cfront.Ast.f_body with
+      | Some b -> Cfront.Ast.iter_stmts (fun _ -> incr stmts) b
+      | None -> ())
+    fns;
+  (List.length fns, !stmts, List.length (Cfront.Ast.globals_of_tu tu))
+
+let test_pretty_roundtrip () =
+  let src =
+    "namespace n {\nint g_v = 3;\nint F(int a, float b) {\n  int r = 0;\n  \
+     for (int i = 0; i < a; ++i) {\n    if (a > 2 && b > 0.5) { r += i; } else { r--; }\n  }\n  \
+     switch (r % 3) {\n    case 0: r = 1; break;\n    default: break;\n  }\n  return r;\n}\n}"
+  in
+  let tu1 = parse_clean src in
+  let printed = Cfront.Pretty.tu_str tu1 in
+  let tu2 = Cfront.Parser.parse_file ~file:"roundtrip.cc" printed in
+  Alcotest.(check (list string)) "reprint parses clean" [] tu2.Cfront.Ast.diags;
+  let f1, s1, g1 = structural_counts tu1 and f2, s2, g2 = structural_counts tu2 in
+  Alcotest.(check int) "functions preserved" f1 f2;
+  Alcotest.(check int) "stmts preserved" s1 s2;
+  Alcotest.(check int) "globals preserved" g1 g2
+
+let prop_corpus_files_roundtrip =
+  QCheck.Test.make ~name:"generated corpus files parse-print-parse stably" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let specs = [ List.hd Corpus.Apollo_profile.small ] in
+      let project = Corpus.Generator.generate ~seed specs in
+      match Cfront.Project.all_files project with
+      | f :: _ ->
+        let tu1 = Cfront.Parser.parse_file ~file:"f.cc" f.Cfront.Project.content in
+        let tu2 = Cfront.Parser.parse_file ~file:"f2.cc" (Cfront.Pretty.tu_str tu1) in
+        tu1.Cfront.Ast.diags = [] && tu2.Cfront.Ast.diags = []
+        && structural_counts tu1 = structural_counts tu2
+      | [] -> false)
+
+(* The tolerant parser must never raise, whatever bytes arrive: fuzz by
+   mutating a well-formed generated file. *)
+let prop_parser_total_on_mutations =
+  QCheck.Test.make ~name:"parser is total under random mutation" ~count:60
+    QCheck.(triple (int_range 1 1000) (int_range 0 5000) (int_range 0 255))
+    (fun (seed, pos, byte) ->
+      let specs = [ List.nth Corpus.Apollo_profile.small 5 ] in
+      let project = Corpus.Generator.generate ~seed specs in
+      match Cfront.Project.all_files project with
+      | f :: _ ->
+        let src = Bytes.of_string f.Cfront.Project.content in
+        let n = Bytes.length src in
+        if n = 0 then true
+        else begin
+          Bytes.set src (pos mod n) (Char.chr byte);
+          (* also truncate sometimes *)
+          let text =
+            if byte mod 3 = 0 then Bytes.sub_string src 0 (pos mod n)
+            else Bytes.to_string src
+          in
+          match Cfront.Parser.parse_file ~file:"fuzz.cc" text with
+          | _ -> true
+          | exception _ -> false
+        end
+      | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let graph_of src =
+  let tu = parse_clean src in
+  Cfront.Callgraph.build (Cfront.Ast.functions_of_tu tu)
+
+let test_callgraph_edges () =
+  let g = graph_of "int A() { return 1; }\nint B() { return A() + A(); }" in
+  Alcotest.(check (list string)) "B calls A" [ "A"; "A" ] (Cfront.Callgraph.callees g "B");
+  Alcotest.(check int) "fan-in of A" 1 (Cfront.Callgraph.fan_in g "A");
+  Alcotest.(check int) "fan-out of B" 1 (Cfront.Callgraph.fan_out g "B")
+
+let test_callgraph_scope_resolution () =
+  let src =
+    "namespace m1 { int Helper() { return 1; } int Use() { return Helper(); } }\n\
+     namespace m2 { int Helper() { return 2; } }"
+  in
+  let g = graph_of src in
+  Alcotest.(check (list string)) "prefers same scope" [ "m1::Helper" ]
+    (Cfront.Callgraph.callees g "m1::Use")
+
+let test_callgraph_direct_recursion () =
+  let g = graph_of "int F(int n) { if (n <= 0) { return 0; } return F(n - 1); }" in
+  Alcotest.(check (list string)) "self recursive" [ "F" ]
+    (Cfront.Callgraph.recursive_functions g)
+
+let test_callgraph_mutual_recursion () =
+  let g =
+    graph_of
+      "int Odd(int n);\nint Even(int n) { if (n == 0) { return 1; } return Odd(n - 1); }\n\
+       int Odd(int n) { if (n == 0) { return 0; } return Even(n - 1); }"
+  in
+  Alcotest.(check (list string)) "mutual pair" [ "Even"; "Odd" ]
+    (List.sort compare (Cfront.Callgraph.recursive_functions g))
+
+let test_callgraph_no_recursion () =
+  let g = graph_of "int A() { return 1; }\nint B() { return A(); }" in
+  Alcotest.(check (list string)) "none" [] (Cfront.Callgraph.recursive_functions g)
+
+let () =
+  Alcotest.run "cfront"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "idents and keywords" `Quick test_lex_idents_keywords;
+          Alcotest.test_case "int literals" `Quick test_lex_int_literals;
+          Alcotest.test_case "float literals" `Quick test_lex_float_literals;
+          Alcotest.test_case "string escapes" `Quick test_lex_string_escapes;
+          Alcotest.test_case "char literals" `Quick test_lex_char_literal;
+          Alcotest.test_case "comments counted" `Quick test_lex_comments_counted;
+          Alcotest.test_case "multichar punctuators" `Quick test_lex_multichar_puncts;
+          Alcotest.test_case "unterminated string" `Quick test_lex_unterminated_string_diag;
+          Alcotest.test_case "locations" `Quick test_lex_locations;
+        ] );
+      ( "preproc",
+        [
+          Alcotest.test_case "includes" `Quick test_preproc_includes;
+          Alcotest.test_case "line preservation" `Quick test_preproc_line_preservation;
+          Alcotest.test_case "ifdef" `Quick test_preproc_ifdef;
+          Alcotest.test_case "if 0" `Quick test_preproc_if_zero;
+          Alcotest.test_case "nested conditions" `Quick test_preproc_nested_conditions;
+          Alcotest.test_case "macro expansion" `Quick test_preproc_macro_expansion;
+          Alcotest.test_case "recursive macro terminates" `Quick
+            test_preproc_recursive_macro_terminates;
+        ] );
+      ( "parser-decls",
+        [
+          Alcotest.test_case "function signature" `Quick test_parse_function_signature;
+          Alcotest.test_case "namespace scoping" `Quick test_parse_namespace_scoping;
+          Alcotest.test_case "qualified definition" `Quick test_parse_qualified_definition;
+          Alcotest.test_case "globals" `Quick test_parse_globals;
+          Alcotest.test_case "struct" `Quick test_parse_struct;
+          Alcotest.test_case "class access and ctor" `Quick test_parse_class_access_and_ctor;
+          Alcotest.test_case "enum" `Quick test_parse_enum;
+          Alcotest.test_case "typedef registers type" `Quick test_parse_typedef_registers_type;
+          Alcotest.test_case "template skipped" `Quick test_parse_template_skipped;
+          Alcotest.test_case "tolerant recovery" `Quick test_parse_tolerant_recovery;
+          Alcotest.test_case "cuda qualifiers" `Quick test_parse_cuda_qualifiers;
+          Alcotest.test_case "device global" `Quick test_parse_device_global_var;
+          Alcotest.test_case "extern C" `Quick test_parse_extern_c;
+          Alcotest.test_case "unique ids across TUs" `Quick test_unique_ids_across_tus;
+        ] );
+      ( "parser-stmts",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "logical precedence" `Quick test_parse_logical_precedence;
+          Alcotest.test_case "casts" `Quick test_parse_casts;
+          Alcotest.test_case "paren is not cast" `Quick test_parse_paren_not_cast;
+          Alcotest.test_case "kernel launch" `Quick test_parse_kernel_launch;
+          Alcotest.test_case "new/delete" `Quick test_parse_new_delete;
+          Alcotest.test_case "sizeof" `Quick test_parse_sizeof;
+          Alcotest.test_case "for variants" `Quick test_parse_for_variants;
+          Alcotest.test_case "switch and labels" `Quick test_parse_switch_and_labels;
+          Alcotest.test_case "do-while" `Quick test_parse_do_while;
+          Alcotest.test_case "try/catch" `Quick test_parse_try_catch;
+          Alcotest.test_case "ternary and comma" `Quick test_parse_ternary_and_comma;
+          Alcotest.test_case "member chains" `Quick test_parse_member_chains;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pretty_roundtrip;
+          QCheck_alcotest.to_alcotest prop_corpus_files_roundtrip;
+          QCheck_alcotest.to_alcotest prop_parser_total_on_mutations;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "edges and fans" `Quick test_callgraph_edges;
+          Alcotest.test_case "scope resolution" `Quick test_callgraph_scope_resolution;
+          Alcotest.test_case "direct recursion" `Quick test_callgraph_direct_recursion;
+          Alcotest.test_case "mutual recursion" `Quick test_callgraph_mutual_recursion;
+          Alcotest.test_case "no recursion" `Quick test_callgraph_no_recursion;
+        ] );
+    ]

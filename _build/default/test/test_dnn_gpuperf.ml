@@ -1,0 +1,211 @@
+(* Tests for the DNN shape model and the GPU performance model. *)
+
+let conv ~in_c ~out_c ~ksize ~stride ~pad ~hw =
+  { Dnn.Layer.in_c; out_c; ksize; stride; pad; in_h = hw; in_w = hw; batch = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Layer shapes and FLOPs                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_conv_output_dims () =
+  let c = conv ~in_c:3 ~out_c:32 ~ksize:3 ~stride:1 ~pad:1 ~hw:416 in
+  Alcotest.(check int) "same padding keeps size" 416 (Dnn.Layer.conv_out_h c);
+  let s2 = conv ~in_c:3 ~out_c:64 ~ksize:3 ~stride:2 ~pad:1 ~hw:416 in
+  Alcotest.(check int) "stride halves" 208 (Dnn.Layer.conv_out_h s2)
+
+let test_conv_gemm_dims () =
+  let c = conv ~in_c:64 ~out_c:128 ~ksize:3 ~stride:1 ~pad:1 ~hw:52 in
+  let m, k, n = Dnn.Layer.conv_gemm_dims c in
+  Alcotest.(check int) "M = out channels" 128 m;
+  Alcotest.(check int) "K = in_c*k*k" (64 * 9) k;
+  Alcotest.(check int) "N = out pixels" (52 * 52) n
+
+let test_conv_flops_formula () =
+  let c = conv ~in_c:2 ~out_c:4 ~ksize:1 ~stride:1 ~pad:0 ~hw:8 in
+  (* 2 * M*K*N = 2 * 4*2*64 *)
+  Alcotest.(check int) "exact flops" 1024 (Dnn.Layer.conv_flops c)
+
+let test_maxpool_dims () =
+  let p = { Dnn.Layer.mp_c = 16; mp_size = 2; mp_stride = 2; mp_h = 416; mp_w = 416 } in
+  Alcotest.(check int) "halved" 208 (Dnn.Layer.maxpool_out_h p)
+
+let test_yolov2_structure () =
+  Alcotest.(check int) "21 conv layers" 21 (List.length (Dnn.Yolo.convs Dnn.Yolo.yolov2));
+  let gflops = float_of_int (Dnn.Yolo.total_flops Dnn.Yolo.yolov2) /. 1e9 in
+  (* Darknet reports ~29.4 BFLOP for yolov2-416; our stack omits the
+     reorg/route passthrough concat, landing slightly below *)
+  Alcotest.(check bool) "20-35 GFLOP" true (gflops > 20.0 && gflops < 35.0)
+
+let test_tiny_yolo_cheaper () =
+  Alcotest.(check bool) "tiny < full" true
+    (Dnn.Yolo.total_flops Dnn.Yolo.tiny_yolo < Dnn.Yolo.total_flops Dnn.Yolo.yolov2)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_gemm_flops () =
+  let w = Gpuperf.Workload.gemm 100 200 300 in
+  Alcotest.(check (float 1.0)) "2MNK" 12_000_000.0 (Gpuperf.Workload.flops w)
+
+let test_workload_intensity_positive () =
+  let w = Gpuperf.Workload.gemm 64 64 64 in
+  Alcotest.(check bool) "positive" true (Gpuperf.Workload.intensity w > 0.0)
+
+let test_winograd_eligibility () =
+  let w3 = Gpuperf.Workload.Conv (conv ~in_c:64 ~out_c:64 ~ksize:3 ~stride:1 ~pad:1 ~hw:28) in
+  let w1 = Gpuperf.Workload.Conv (conv ~in_c:64 ~out_c:64 ~ksize:1 ~stride:1 ~pad:0 ~hw:28) in
+  Alcotest.(check bool) "3x3 s1 eligible" true (Gpuperf.Workload.is_winograd_eligible w3);
+  Alcotest.(check bool) "1x1 not" false (Gpuperf.Workload.is_winograd_eligible w1);
+  Alcotest.(check bool) "gemm not" false
+    (Gpuperf.Workload.is_winograd_eligible (Gpuperf.Workload.gemm 8 8 8))
+
+(* ------------------------------------------------------------------ *)
+(* Library models                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let gpu = Gpuperf.Device.titan_v
+let cpu = Gpuperf.Device.xeon_e5
+
+let big_gemm = Gpuperf.Workload.gemm 4096 4096 4096
+
+let test_times_positive () =
+  List.iter
+    (fun lib ->
+      Alcotest.(check bool)
+        (lib.Gpuperf.Library_model.lib_name ^ " positive time") true
+        (lib.Gpuperf.Library_model.time_ms big_gemm > 0.0))
+    [ Gpuperf.Library_model.cublas gpu; Gpuperf.Library_model.cutlass gpu;
+      Gpuperf.Library_model.cudnn gpu; Gpuperf.Library_model.isaac gpu;
+      Gpuperf.Library_model.atlas cpu; Gpuperf.Library_model.openblas cpu ]
+
+let test_model_deterministic () =
+  let lib = Gpuperf.Library_model.cublas gpu in
+  Alcotest.(check (float 1e-12)) "same workload same time"
+    (lib.Gpuperf.Library_model.time_ms big_gemm)
+    (lib.Gpuperf.Library_model.time_ms big_gemm)
+
+let test_more_flops_more_time () =
+  let lib = Gpuperf.Library_model.cublas gpu in
+  let small = Gpuperf.Workload.gemm 512 512 512 in
+  Alcotest.(check bool) "monotone in size" true
+    (lib.Gpuperf.Library_model.time_ms big_gemm
+     > lib.Gpuperf.Library_model.time_ms small)
+
+let test_cpu_much_slower () =
+  let cudnn = Gpuperf.Library_model.cudnn gpu in
+  let atlas = Gpuperf.Library_model.atlas cpu in
+  let w = Gpuperf.Workload.Conv (conv ~in_c:256 ~out_c:512 ~ksize:3 ~stride:1 ~pad:1 ~hw:26) in
+  let ratio =
+    atlas.Gpuperf.Library_model.time_ms w /. cudnn.Gpuperf.Library_model.time_ms w
+  in
+  Alcotest.(check bool) "about two orders of magnitude" true (ratio > 40.0)
+
+let test_open_vs_closed_competitive () =
+  let ratios = List.map snd (Gpuperf.Suites.gemm_comparison ~device:gpu) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "CUTLASS within 0.7..1.3 of cuBLAS" true (r > 0.7 && r < 1.3))
+    ratios;
+  let g = Util.Stats.geomean ratios in
+  Alcotest.(check bool) "geomean close to parity" true (g > 0.85 && g < 1.1)
+
+let test_isaac_vs_cudnn_competitive () =
+  let ratios = List.map (fun (_, _, r) -> r) (Gpuperf.Suites.conv_comparison ~device:gpu) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ISAAC within 0.6..1.5 of cuDNN" true (r > 0.6 && r < 1.5))
+    ratios
+
+let test_winograd_helps_cudnn () =
+  let cudnn = Gpuperf.Library_model.cudnn gpu in
+  let eligible = Gpuperf.Workload.Conv (conv ~in_c:256 ~out_c:256 ~ksize:3 ~stride:1 ~pad:1 ~hw:52) in
+  let not_eligible = Gpuperf.Workload.Conv (conv ~in_c:256 ~out_c:256 ~ksize:3 ~stride:2 ~pad:1 ~hw:52) in
+  (* per-output-flop time should be lower on the Winograd-eligible conv *)
+  let per_flop w = cudnn.Gpuperf.Library_model.time_ms w /. Gpuperf.Workload.flops w in
+  Alcotest.(check bool) "winograd speedup" true (per_flop eligible < per_flop not_eligible)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7 end-to-end shape                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rows = lazy (Gpuperf.Yolo_bench.run ~gpu ~cpu ())
+
+let find impl =
+  List.find (fun r -> r.Gpuperf.Yolo_bench.impl = impl) (Lazy.force rows)
+
+let test_fig7_gpu_within_budget () =
+  List.iter
+    (fun impl ->
+      Alcotest.(check bool) (impl ^ " under 10ms") true
+        ((find impl).Gpuperf.Yolo_bench.total_ms < 10.0))
+    [ "cuDNN"; "cuBLAS"; "ISAAC"; "CUTLASS" ]
+
+let test_fig7_cpu_two_orders () =
+  Alcotest.(check bool) "ATLAS ~100x+" true
+    ((find "ATLAS").Gpuperf.Yolo_bench.vs_baseline > 80.0);
+  Alcotest.(check bool) "OpenBLAS ~100x" true
+    ((find "OpenBLAS").Gpuperf.Yolo_bench.vs_baseline > 50.0)
+
+let test_fig7_open_competitive () =
+  Alcotest.(check bool) "ISAAC within 25% of cuDNN" true
+    ((find "ISAAC").Gpuperf.Yolo_bench.vs_baseline < 1.25);
+  Alcotest.(check bool) "CUTLASS within 50% of cuDNN" true
+    ((find "CUTLASS").Gpuperf.Yolo_bench.vs_baseline < 1.5)
+
+let test_per_layer_sums_to_total () =
+  let lib = Gpuperf.Library_model.cudnn gpu in
+  let per_layer = Gpuperf.Yolo_bench.per_layer lib Dnn.Yolo.yolov2 in
+  let sum = Util.Stats.sum_float (List.map snd per_layer) in
+  let total = Gpuperf.Library_model.network_time_ms lib Dnn.Yolo.yolov2 in
+  (* per_layer omits the per-launch overhead on non-conv layers *)
+  Alcotest.(check bool) "close" true (abs_float (sum -. total) /. total < 0.05)
+
+let prop_model_monotone_in_k =
+  QCheck.Test.make ~name:"GEMM time grows with K" ~count:50
+    QCheck.(pair (int_range 64 2048) (int_range 64 1024))
+    (fun (k1, dk) ->
+      let lib = Gpuperf.Library_model.cublas gpu in
+      let t1 = lib.Gpuperf.Library_model.time_ms (Gpuperf.Workload.gemm 1024 1024 k1) in
+      let t2 =
+        lib.Gpuperf.Library_model.time_ms (Gpuperf.Workload.gemm 1024 1024 (k1 + (4 * dk)))
+      in
+      t2 > t1 *. 0.95)
+
+let () =
+  Alcotest.run "dnn-gpuperf"
+    [
+      ( "layers",
+        [
+          Alcotest.test_case "conv output dims" `Quick test_conv_output_dims;
+          Alcotest.test_case "conv gemm dims" `Quick test_conv_gemm_dims;
+          Alcotest.test_case "conv flops" `Quick test_conv_flops_formula;
+          Alcotest.test_case "maxpool dims" `Quick test_maxpool_dims;
+          Alcotest.test_case "yolov2 structure" `Quick test_yolov2_structure;
+          Alcotest.test_case "tiny cheaper" `Quick test_tiny_yolo_cheaper;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "gemm flops" `Quick test_workload_gemm_flops;
+          Alcotest.test_case "intensity" `Quick test_workload_intensity_positive;
+          Alcotest.test_case "winograd eligibility" `Quick test_winograd_eligibility;
+        ] );
+      ( "library-models",
+        [
+          Alcotest.test_case "times positive" `Quick test_times_positive;
+          Alcotest.test_case "deterministic" `Quick test_model_deterministic;
+          Alcotest.test_case "monotone in size" `Quick test_more_flops_more_time;
+          Alcotest.test_case "cpu much slower" `Quick test_cpu_much_slower;
+          Alcotest.test_case "cutlass competitive" `Quick test_open_vs_closed_competitive;
+          Alcotest.test_case "isaac competitive" `Quick test_isaac_vs_cudnn_competitive;
+          Alcotest.test_case "winograd helps" `Quick test_winograd_helps_cudnn;
+          QCheck_alcotest.to_alcotest prop_model_monotone_in_k;
+        ] );
+      ( "fig7",
+        [
+          Alcotest.test_case "gpu within budget" `Quick test_fig7_gpu_within_budget;
+          Alcotest.test_case "cpu two orders" `Quick test_fig7_cpu_two_orders;
+          Alcotest.test_case "open competitive" `Quick test_fig7_open_competitive;
+          Alcotest.test_case "per-layer sums" `Quick test_per_layer_sums_to_total;
+        ] );
+    ]
