@@ -1,0 +1,17 @@
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full gate: build, unit tests, and an adcheck dataflow smoke run on the
+# small corpus (exercises generator -> parser -> CFG -> fixpoint -> report).
+check: build test
+	dune exec bin/adcheck.exe -- dataflow --scale small
+
+clean:
+	dune clean

@@ -4,6 +4,7 @@
     - [audit]      full assessment of the Apollo-profile corpus
     - [complexity] Figure 3 per-module complexity analysis
     - [misra]      MISRA C:2012-subset + CUDA rule checking
+    - [dataflow]   flow-sensitive per-module counts (CFG + fixpoint)
     - [coverage]   Figure 5/6 coverage experiments
     - [gpuperf]    Figure 7/8 open- vs closed-source library comparison
     - [corpus]     write the generated corpus to disk
@@ -137,6 +138,73 @@ let misra_cmd =
   let doc = "Check the corpus against the MISRA C:2012 subset and the CUDA extension rules." in
   Cmd.v (Cmd.info "misra" ~doc)
     Term.(const run $ seed_arg $ scale_arg $ rule_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dataflow                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dataflow_cmd =
+  let function_arg =
+    let doc = "List individual findings for functions whose qualified name contains $(docv)." in
+    Arg.(value & opt (some string) None & info [ "function" ] ~docv:"NAME" ~doc)
+  in
+  let run seed scale format fname =
+    let project = Corpus.Generator.generate ~seed (specs_of scale) in
+    let parsed = Cfront.Project.parse project in
+    match fname with
+    | None ->
+      let metrics = Iso26262.Project_metrics.of_parsed parsed in
+      print_string
+        (Util.Table.render_as format (Iso26262.Report.dataflow_table metrics))
+    | Some needle ->
+      let matched = ref 0 in
+      List.iter
+        (fun fn ->
+          let name = Cfront.Ast.qualified_name fn in
+          let contains hay =
+            let n = String.length needle and h = String.length hay in
+            let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+            n = 0 || at 0
+          in
+          match fn.Cfront.Ast.f_body with
+          | Some _ when contains name ->
+            incr matched;
+            let cfg = Dataflow.Cfg.of_func fn in
+            Printf.printf "== %s: %d blocks, %d edges\n" name
+              (Dataflow.Cfg.n_blocks cfg) (Dataflow.Cfg.n_edges cfg);
+            List.iter
+              (fun loc ->
+                Printf.printf "  unreachable: %s\n" (Cfront.Loc.to_string loc))
+              (Dataflow.Analyses.unreachable_regions cfg);
+            List.iter
+              (fun (d : Dataflow.Analyses.dead_store) ->
+                Printf.printf "  dead store:  %s %s\n"
+                  (Cfront.Loc.to_string d.Dataflow.Analyses.d_loc)
+                  d.Dataflow.Analyses.d_var)
+              (Dataflow.Analyses.dead_stores cfg);
+            List.iter
+              (fun (u : Dataflow.Analyses.uninit_finding) ->
+                Printf.printf "  uninit read: %s %s\n"
+                  (Cfront.Loc.to_string u.Dataflow.Analyses.u_use_loc)
+                  u.Dataflow.Analyses.u_var)
+              (Dataflow.Analyses.uninit_reads cfg);
+            List.iter
+              (fun (c : Dataflow.Analyses.const_cond) ->
+                if c.Dataflow.Analyses.c_propagated then
+                  Printf.printf "  const cond:  %s always %b\n"
+                    (Cfront.Loc.to_string c.Dataflow.Analyses.c_loc)
+                    c.Dataflow.Analyses.c_value)
+              (Dataflow.Analyses.constant_conditions cfg)
+          | _ -> ())
+        (Cfront.Project.all_functions parsed);
+      if !matched = 0 then Printf.eprintf "no defined function matches %s\n" needle
+  in
+  let doc =
+    "Flow-sensitive analysis over the corpus: CFG sizes, unreachable regions, \
+     dead stores, uninitialized reads and propagated constant conditions per module."
+  in
+  Cmd.v (Cmd.info "dataflow" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ format_arg $ function_arg)
 
 (* ------------------------------------------------------------------ *)
 (* coverage                                                             *)
@@ -360,5 +428,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ audit_cmd; complexity_cmd; misra_cmd; coverage_cmd; gpuperf_cmd;
-            corpus_cmd; check_cmd; wcet_cmd; brook_cmd; faults_cmd ]))
+          [ audit_cmd; complexity_cmd; misra_cmd; dataflow_cmd; coverage_cmd;
+            gpuperf_cmd; corpus_cmd; check_cmd; wcet_cmd; brook_cmd;
+            faults_cmd ]))

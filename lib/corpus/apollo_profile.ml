@@ -30,6 +30,7 @@ type module_spec = {
   gotos : int;
   recursive_fns : int;
   uninit_vars : int;
+  dead_code : int;  (** unreachable-statement sites (code after an early return) *)
   cuda_kernels : int;
   uses_threads : bool;
 }
@@ -49,6 +50,7 @@ let perception =
     gotos = 14;
     recursive_fns = 2;
     uninit_vars = 18;
+    dead_code = 8;
     cuda_kernels = 22;
     uses_threads = true;
   }
@@ -68,6 +70,7 @@ let planning =
     gotos = 8;
     recursive_fns = 2;
     uninit_vars = 12;
+    dead_code = 6;
     cuda_kernels = 0;
     uses_threads = true;
   }
@@ -87,6 +90,7 @@ let prediction =
     gotos = 4;
     recursive_fns = 1;
     uninit_vars = 8;
+    dead_code = 4;
     cuda_kernels = 0;
     uses_threads = false;
   }
@@ -106,6 +110,7 @@ let localization =
     gotos = 4;
     recursive_fns = 0;
     uninit_vars = 6;
+    dead_code = 3;
     cuda_kernels = 0;
     uses_threads = false;
   }
@@ -125,6 +130,7 @@ let hdmap =
     gotos = 2;
     recursive_fns = 3;  (* tree traversals — the paper's "well-known purposes" *)
     uninit_vars = 6;
+    dead_code = 4;
     cuda_kernels = 0;
     uses_threads = false;
   }
@@ -144,6 +150,7 @@ let routing =
     gotos = 0;
     recursive_fns = 1;
     uninit_vars = 3;
+    dead_code = 2;
     cuda_kernels = 0;
     uses_threads = false;
   }
@@ -163,6 +170,7 @@ let control =
     gotos = 2;
     recursive_fns = 0;
     uninit_vars = 4;
+    dead_code = 3;
     cuda_kernels = 0;
     uses_threads = true;
   }
@@ -182,6 +190,7 @@ let canbus =
     gotos = 2;
     recursive_fns = 0;
     uninit_vars = 3;
+    dead_code = 2;
     cuda_kernels = 0;
     uses_threads = false;
   }
@@ -201,6 +210,7 @@ let common =
     gotos = 0;
     recursive_fns = 1;
     uninit_vars = 4;
+    dead_code = 3;
     cuda_kernels = 0;
     uses_threads = true;
   }
@@ -230,6 +240,7 @@ let scale ~factor spec =
     gotos = s0 spec.gotos;
     recursive_fns = s0 spec.recursive_fns;
     uninit_vars = s0 spec.uninit_vars;
+    dead_code = s0 spec.dead_code;
     cuda_kernels = s0 spec.cuda_kernels;
   }
 

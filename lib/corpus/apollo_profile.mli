@@ -17,6 +17,7 @@ type module_spec = {
   gotos : int;
   recursive_fns : int;
   uninit_vars : int;
+  dead_code : int;  (** unreachable-statement sites (code after an early return) *)
   cuda_kernels : int;
   uses_threads : bool;
 }

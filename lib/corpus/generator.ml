@@ -79,6 +79,7 @@ type quotas = {
   mutable casts : int;
   mutable gotos : int;
   mutable uninit : int;
+  mutable dead : int;  (** unreachable statements after an early return *)
 }
 
 (* Per-function plan, precomputed for the whole module so that quota
@@ -424,6 +425,11 @@ let emit_function rng sc q w (plan : fn_plan) ~line_budget =
       line w (Printf.sprintf "if (%s < 0) {" p_int1);
       push w;
       line w "return -1;";
+      if q.dead > 0 && Util.Rng.chance rng 0.35 then begin
+        (* statement after the return: never executes (MISRA 2.1) *)
+        q.dead <- q.dead - 1;
+        line w (Printf.sprintf "%s = %s - 1;" result result)
+      end;
       pop w;
       line w "}"
     end;
@@ -611,6 +617,7 @@ let generate_module rng (spec : Apollo_profile.module_spec) =
       casts = spec.Apollo_profile.casts;
       gotos = spec.Apollo_profile.gotos;
       uninit = spec.Apollo_profile.uninit_vars;
+      dead = spec.Apollo_profile.dead_code;
     }
   in
   let n_files = Stdlib.max 1 spec.Apollo_profile.n_files in

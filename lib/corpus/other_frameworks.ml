@@ -12,7 +12,7 @@
 open Apollo_profile
 
 let m ~name ~loc ~files ~fns ~over10 ~over20 ~over50 ~globals ~casts ~gotos
-    ~recursive ~uninit ~kernels ~threads ~multi_exit =
+    ~recursive ~uninit ~kernels ~threads ?dead ~multi_exit () =
   {
     name;
     target_loc = loc;
@@ -27,6 +27,9 @@ let m ~name ~loc ~files ~fns ~over10 ~over20 ~over50 ~globals ~casts ~gotos
     gotos;
     recursive_fns = recursive;
     uninit_vars = uninit;
+    (* same density character as Apollo: a handful of dead statements per
+       module, scaling with the uninitialized-read count *)
+    dead_code = (match dead with Some d -> d | None -> Stdlib.max 1 (uninit / 3));
     cuda_kernels = kernels;
     uses_threads = threads;
   }
@@ -37,19 +40,19 @@ let autoware =
   [
     m ~name:"perception" ~loc:34_000 ~files:30 ~fns:830 ~over10:86 ~over20:22
       ~over50:2 ~globals:410 ~casts:240 ~gotos:8 ~recursive:1 ~uninit:10
-      ~kernels:12 ~threads:true ~multi_exit:0.40;
+      ~kernels:12 ~threads:true ~multi_exit:0.40 ();
     m ~name:"planning" ~loc:26_000 ~files:24 ~fns:620 ~over10:64 ~over20:16
       ~over50:2 ~globals:140 ~casts:170 ~gotos:5 ~recursive:1 ~uninit:7
-      ~kernels:0 ~threads:true ~multi_exit:0.34;
+      ~kernels:0 ~threads:true ~multi_exit:0.34 ();
     m ~name:"localization" ~loc:14_000 ~files:13 ~fns:340 ~over10:35 ~over20:8
       ~over50:1 ~globals:70 ~casts:90 ~gotos:2 ~recursive:0 ~uninit:4
-      ~kernels:0 ~threads:false ~multi_exit:0.30;
+      ~kernels:0 ~threads:false ~multi_exit:0.30 ();
     m ~name:"detection" ~loc:18_000 ~files:16 ~fns:430 ~over10:45 ~over20:11
       ~over50:1 ~globals:160 ~casts:120 ~gotos:4 ~recursive:1 ~uninit:5
-      ~kernels:8 ~threads:false ~multi_exit:0.38;
+      ~kernels:8 ~threads:false ~multi_exit:0.38 ();
     m ~name:"common" ~loc:9_000 ~files:9 ~fns:220 ~over10:20 ~over20:5 ~over50:0
       ~globals:60 ~casts:55 ~gotos:0 ~recursive:1 ~uninit:3 ~kernels:0
-      ~threads:true ~multi_exit:0.26;
+      ~threads:true ~multi_exit:0.26 ();
   ]
 
 (** Udacity self-driving-car (2017): the smallest of the three — teaching
@@ -58,16 +61,16 @@ let udacity =
   [
     m ~name:"perception" ~loc:12_000 ~files:11 ~fns:290 ~over10:27 ~over20:7
       ~over50:1 ~globals:150 ~casts:85 ~gotos:3 ~recursive:0 ~uninit:4
-      ~kernels:5 ~threads:false ~multi_exit:0.36;
+      ~kernels:5 ~threads:false ~multi_exit:0.36 ();
     m ~name:"planning" ~loc:8_000 ~files:8 ~fns:190 ~over10:18 ~over20:4
       ~over50:0 ~globals:55 ~casts:50 ~gotos:1 ~recursive:1 ~uninit:3
-      ~kernels:0 ~threads:false ~multi_exit:0.30;
+      ~kernels:0 ~threads:false ~multi_exit:0.30 ();
     m ~name:"control" ~loc:6_000 ~files:6 ~fns:150 ~over10:14 ~over20:3
       ~over50:0 ~globals:35 ~casts:35 ~gotos:1 ~recursive:0 ~uninit:2
-      ~kernels:0 ~threads:false ~multi_exit:0.28;
+      ~kernels:0 ~threads:false ~multi_exit:0.28 ();
     m ~name:"common" ~loc:4_000 ~files:4 ~fns:100 ~over10:9 ~over20:2 ~over50:0
       ~globals:25 ~casts:25 ~gotos:0 ~recursive:0 ~uninit:1 ~kernels:0
-      ~threads:false ~multi_exit:0.24;
+      ~threads:false ~multi_exit:0.24 ();
   ]
 
 type framework = { fw_name : string; fw_specs : module_spec list; fw_seed : int }

@@ -1,0 +1,572 @@
+(** Concrete dataflow analyses over {!Cfg}: reachability (unreachable
+    code), definite assignment (uninitialized reads), liveness (dead
+    stores) and reaching definitions with trivial constant folding
+    (constant branch conditions).
+
+    All four power MISRA rules 2.1/2.2/9.1 plus the DF-1/DF-2 extended
+    rules and the [adcheck dataflow] report. *)
+
+open Cfront
+
+module SS = Set.Make (String)
+module IS = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Variable domains                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec strip_const = function Ast.Tconst t -> strip_const t | t -> t
+
+(* Locals whose uninitialized reads / dead stores are meaningful: scalar
+   (or pointer) automatic variables.  Arrays, class-typed and reference
+   locals have constructor/aliasing semantics and are exempt, matching
+   the original Metrics.Uninit policy. *)
+let tracked_type t =
+  match strip_const t with
+  | Ast.Tarray _ | Ast.Tnamed _ | Ast.Ttemplate _ | Ast.Tref _ | Ast.Tauto -> false
+  | _ -> true
+
+(** Declarations of tracked locals in the function: name -> decl loc
+    (first declaration wins, name-level granularity as in the original
+    syntactic analysis). *)
+let tracked_decls (cfg : Cfg.t) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun (instr : Cfg.instr) ->
+          match instr.Cfg.i with
+          | Cfg.Idecl d when tracked_type d.Ast.v_type ->
+            if not (Hashtbl.mem tbl d.Ast.v_name) then
+              Hashtbl.add tbl d.Ast.v_name d.Ast.v_loc
+          | _ -> ())
+        blk.Cfg.instrs)
+    cfg.Cfg.blocks;
+  tbl
+
+let names l = List.map fst l
+
+(* ------------------------------------------------------------------ *)
+(* Definite assignment / may-be-uninitialized reads                    *)
+(* ------------------------------------------------------------------ *)
+
+type uninit_finding = {
+  u_var : string;
+  u_decl_loc : Loc.t;
+  u_use_loc : Loc.t;
+  u_function : string;
+}
+
+module VarSet = struct
+  type t = SS.t
+
+  let bottom = SS.empty
+  let equal = SS.equal
+  let join = SS.union
+end
+
+module VarSolver = Framework.Make (VarSet)
+
+(* The fact is the set of tracked locals that are declared but possibly
+   not yet assigned (the dual of definite assignment; union join makes
+   "maybe uninitialized" a may-property, so a variable assigned on every
+   path into a use is NOT in the fact there). *)
+let uninit_transfer tracked (blk : Cfg.block) fact =
+  List.fold_left
+    (fun fact (instr : Cfg.instr) ->
+      let fact =
+        (* assignments and address-taking initialize *)
+        List.fold_left
+          (fun fact n -> SS.remove n fact)
+          fact
+          (names (Cfg.defs_of_instr instr) @ Cfg.addr_taken_of_instr instr)
+      in
+      match instr.Cfg.i with
+      | Cfg.Idecl d when d.Ast.v_init = None && Hashtbl.mem tracked d.Ast.v_name ->
+        SS.add d.Ast.v_name fact
+      | _ -> fact)
+    fact blk.Cfg.instrs
+
+(** Flow-sensitive uninitialized-read findings, one per variable (the
+    earliest use in source order). *)
+let uninit_reads (cfg : Cfg.t) =
+  let tracked = tracked_decls cfg in
+  if Hashtbl.length tracked = 0 then []
+  else begin
+    let result =
+      VarSolver.solve ~cfg ~direction:Framework.Forward ~boundary:SS.empty
+        ~transfer:(fun bid fact ->
+          uninit_transfer tracked cfg.Cfg.blocks.(bid) fact)
+    in
+    let fname = Ast.qualified_name cfg.Cfg.func in
+    let candidates = ref [] in
+    Array.iter
+      (fun (blk : Cfg.block) ->
+        let fact = ref result.VarSolver.before.(blk.Cfg.bid) in
+        List.iter
+          (fun (instr : Cfg.instr) ->
+            List.iter
+              (fun (n, use_loc) ->
+                if SS.mem n !fact then
+                  match Hashtbl.find_opt tracked n with
+                  | Some decl_loc ->
+                    candidates :=
+                      { u_var = n; u_decl_loc = decl_loc; u_use_loc = use_loc;
+                        u_function = fname }
+                      :: !candidates
+                  | None -> ())
+              (Cfg.uses_of_instr instr);
+            fact := uninit_transfer tracked { blk with Cfg.instrs = [ instr ] } !fact)
+          blk.Cfg.instrs)
+      cfg.Cfg.blocks;
+    (* earliest use per variable, in source order *)
+    let by_pos a b =
+      compare
+        (a.u_use_loc.Loc.line, a.u_use_loc.Loc.col, a.u_var)
+        (b.u_use_loc.Loc.line, b.u_use_loc.Loc.col, b.u_var)
+    in
+    let sorted = List.sort by_pos (List.rev !candidates) in
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun f ->
+        if Hashtbl.mem seen f.u_var then false
+        else begin
+          Hashtbl.add seen f.u_var ();
+          true
+        end)
+      sorted
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Liveness and dead stores                                            *)
+(* ------------------------------------------------------------------ *)
+
+type store_kind = Sassign | Sdecl_init
+
+type dead_store = {
+  d_var : string;
+  d_loc : Loc.t;
+  d_kind : store_kind;
+  d_function : string;
+}
+
+(* live := (live \ defs) ∪ uses; address-taken variables escape and are
+   treated as used. *)
+let live_transfer (blk : Cfg.block) fact =
+  List.fold_left
+    (fun fact (instr : Cfg.instr) ->
+      let fact =
+        List.fold_left
+          (fun fact n -> SS.remove n fact)
+          fact
+          (names (Cfg.defs_of_instr instr))
+      in
+      List.fold_left
+        (fun fact n -> SS.add n fact)
+        fact
+        (names (Cfg.uses_of_instr instr) @ Cfg.addr_taken_of_instr instr))
+    fact (List.rev blk.Cfg.instrs)
+
+(** Live variables at block boundaries. *)
+let liveness (cfg : Cfg.t) =
+  VarSolver.solve ~cfg ~direction:Framework.Backward ~boundary:SS.empty
+    ~transfer:(fun bid fact -> live_transfer cfg.Cfg.blocks.(bid) fact)
+
+(* The store a single instruction performs on a simple local, if any:
+   a top-level assignment statement or a declaration initializer. *)
+let store_of_instr (instr : Cfg.instr) =
+  match instr.Cfg.i with
+  | Cfg.Iexpr { e = Ast.Assign (_, { e = Ast.Id n; _ }, _); _ } ->
+    Some (n, instr.Cfg.iloc, Sassign)
+  | Cfg.Idecl ({ Ast.v_init = Some _; _ } as d) ->
+    Some (d.Ast.v_name, d.Ast.v_loc, Sdecl_init)
+  | _ -> None
+
+(** Stores whose value is never read on any path: flow-sensitive dead
+    stores.  Only tracked locals are considered; variables whose address
+    is taken anywhere in the function are exempt (the store may be
+    observed through the pointer), as are stores in unreachable blocks
+    (those are rule 2.1's findings, not dead stores). *)
+let dead_stores ?(include_decl_init = true) (cfg : Cfg.t) =
+  let tracked = tracked_decls cfg in
+  if Hashtbl.length tracked = 0 then []
+  else begin
+    let escaped = SS.of_list (Cfg.addr_taken_of_cfg cfg) in
+    let live = liveness cfg in
+    let reach = Cfg.reachable cfg in
+    let fname = Ast.qualified_name cfg.Cfg.func in
+    let acc = ref [] in
+    Array.iter
+      (fun (blk : Cfg.block) ->
+        if reach.(blk.Cfg.bid) then begin
+          (* walk the block backwards tracking liveness per instruction *)
+          let fact = ref live.VarSolver.after.(blk.Cfg.bid) in
+          List.iter
+            (fun (instr : Cfg.instr) ->
+              (match store_of_instr instr with
+               | Some (n, loc, kind)
+                 when Hashtbl.mem tracked n
+                      && (not (SS.mem n escaped))
+                      && (not (SS.mem n !fact))
+                      && (include_decl_init || kind = Sassign) ->
+                 acc := { d_var = n; d_loc = loc; d_kind = kind; d_function = fname }
+                        :: !acc
+               | _ -> ());
+              fact := live_transfer { blk with Cfg.instrs = [ instr ] } !fact)
+            (List.rev blk.Cfg.instrs)
+        end)
+      cfg.Cfg.blocks;
+    List.sort
+      (fun a b ->
+        compare
+          (a.d_loc.Loc.line, a.d_loc.Loc.col, a.d_var)
+          (b.d_loc.Loc.line, b.d_loc.Loc.col, b.d_var))
+      !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions and trivial constant propagation               *)
+(* ------------------------------------------------------------------ *)
+
+type def_site = {
+  site_id : int;
+  site_var : string;
+  site_const : int64 option;  (** [Some c] when the definition assigns a
+                                  compile-time literal constant *)
+}
+
+(* Syntactic constant folding of side-effect-free expressions. *)
+let rec fold_literal (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Int_const n -> Some n
+  | Ast.Bool_const b -> Some (if b then 1L else 0L)
+  | Ast.Char_const c -> Some (Int64.of_int (Char.code c))
+  | Ast.Unary (op, a) -> (
+      match (op, fold_literal a) with
+      | Ast.Neg, Some n -> Some (Int64.neg n)
+      | Ast.Pos, Some n -> Some n
+      | Ast.Lnot, Some n -> Some (if n = 0L then 1L else 0L)
+      | Ast.Bnot, Some n -> Some (Int64.lognot n)
+      | _ -> None)
+  | Ast.Binary (op, a, b) -> (
+      match (fold_literal a, fold_literal b) with
+      | Some x, Some y -> fold_binop op x y
+      | _ -> None)
+  | Ast.Ternary (c, a, b) -> (
+      match fold_literal c with
+      | Some 0L -> fold_literal b
+      | Some _ -> fold_literal a
+      | None -> None)
+  | Ast.C_cast (t, a) | Ast.Cpp_cast (_, t, a) ->
+    (match strip_const t with
+     | Ast.Tint _ | Ast.Tbool | Ast.Tchar -> fold_literal a
+     | _ -> None)
+  | _ -> None
+
+and fold_binop op x y =
+  let bool_ b = Some (if b then 1L else 0L) in
+  match op with
+  | Ast.Add -> Some (Int64.add x y)
+  | Ast.Sub -> Some (Int64.sub x y)
+  | Ast.Mul -> Some (Int64.mul x y)
+  | Ast.Div -> if y = 0L then None else Some (Int64.div x y)
+  | Ast.Mod -> if y = 0L then None else Some (Int64.rem x y)
+  | Ast.Shl -> if y < 0L || y > 62L then None else Some (Int64.shift_left x (Int64.to_int y))
+  | Ast.Shr -> if y < 0L || y > 62L then None else Some (Int64.shift_right x (Int64.to_int y))
+  | Ast.Lt -> bool_ (x < y)
+  | Ast.Gt -> bool_ (x > y)
+  | Ast.Le -> bool_ (x <= y)
+  | Ast.Ge -> bool_ (x >= y)
+  | Ast.Eq -> bool_ (x = y)
+  | Ast.Ne -> bool_ (x <> y)
+  | Ast.Band -> Some (Int64.logand x y)
+  | Ast.Bor -> Some (Int64.logor x y)
+  | Ast.Bxor -> Some (Int64.logxor x y)
+  | Ast.Land -> bool_ (x <> 0L && y <> 0L)
+  | Ast.Lor -> bool_ (x <> 0L || y <> 0L)
+  | Ast.Comma -> None
+
+module DefSet = struct
+  type t = IS.t
+
+  let bottom = IS.empty
+  let equal = IS.equal
+  let join = IS.union
+end
+
+module DefSolver = Framework.Make (DefSet)
+
+(** Reaching definitions: per-instruction def sites keyed by a dense id,
+    with the standard gen/kill fixpoint.  Returns the site table, a map
+    var -> all site ids, and the solver result. *)
+let reaching_definitions (cfg : Cfg.t) =
+  let gen = Hashtbl.create 32 in  (* (bid, instr index) -> def_site list *)
+  let all_sites = ref [] in
+  let sites_of_var = Hashtbl.create 16 in
+  let next = ref 0 in
+  let new_site var const =
+    let s = { site_id = !next; site_var = var; site_const = const } in
+    incr next;
+    Hashtbl.replace sites_of_var var
+      (IS.add s.site_id
+         (Option.value ~default:IS.empty (Hashtbl.find_opt sites_of_var var)));
+    all_sites := s :: !all_sites;
+    s
+  in
+  let const_of_instr (instr : Cfg.instr) var =
+    match instr.Cfg.i with
+    | Cfg.Idecl d when d.Ast.v_name = var ->
+      Option.bind d.Ast.v_init fold_literal
+    | Cfg.Iexpr { e = Ast.Assign (Ast.A_eq, { e = Ast.Id n; _ }, rhs); _ }
+      when n = var ->
+      fold_literal rhs
+    | _ -> None
+  in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      List.iteri
+        (fun idx (instr : Cfg.instr) ->
+          let defined =
+            names (Cfg.defs_of_instr instr)
+            @ Cfg.addr_taken_of_instr instr
+            @ (match instr.Cfg.i with
+               | Cfg.Idecl d when d.Ast.v_init = None -> [ d.Ast.v_name ]
+               | _ -> [])
+          in
+          match List.sort_uniq compare defined with
+          | [] -> ()
+          | vars ->
+            Hashtbl.replace gen (blk.Cfg.bid, idx)
+              (List.map (fun var -> new_site var (const_of_instr instr var)) vars))
+        blk.Cfg.instrs)
+    cfg.Cfg.blocks;
+  let site_ids_of_var var =
+    Option.value ~default:IS.empty (Hashtbl.find_opt sites_of_var var)
+  in
+  let site_by_id = Array.make (Stdlib.max 1 !next) None in
+  List.iter (fun s -> site_by_id.(s.site_id) <- Some s) !all_sites;
+  let transfer_instr bid idx (_ : Cfg.instr) fact =
+    match Hashtbl.find_opt gen (bid, idx) with
+    | None | Some [] -> fact
+    | Some this ->
+      (* strong kill: every older definition of the same variables dies *)
+      let killed =
+        List.fold_left (fun acc s -> IS.union acc (site_ids_of_var s.site_var)) IS.empty this
+      in
+      let fact = IS.diff fact killed in
+      List.fold_left (fun fact s -> IS.add s.site_id fact) fact this
+  in
+  let transfer_block bid fact =
+    let blk = cfg.Cfg.blocks.(bid) in
+    List.fold_left
+      (fun (idx, fact) instr -> (idx + 1, transfer_instr bid idx instr fact))
+      (0, fact) blk.Cfg.instrs
+    |> snd
+  in
+  let result =
+    DefSolver.solve ~cfg ~direction:Framework.Forward ~boundary:IS.empty
+      ~transfer:transfer_block
+  in
+  (result, site_by_id, site_ids_of_var, transfer_instr)
+
+type const_cond = {
+  c_loc : Loc.t;
+  c_value : bool;  (** the condition is always this *)
+  c_origin : Cfg.cond_origin;
+  c_function : string;
+  c_propagated : bool;  (** required reaching-definition propagation, i.e.
+                            the condition is not itself a literal *)
+}
+
+(** Branch conditions that fold to a compile-time constant, using the
+    reaching definitions of each variable: a variable folds when every
+    definition reaching the use assigns the same literal.  Only locals
+    declared in the function whose address is never taken participate
+    (anything else can change behind the analysis's back). *)
+let constant_conditions (cfg : Cfg.t) =
+  let tracked = tracked_decls cfg in
+  let escaped = SS.of_list (Cfg.addr_taken_of_cfg cfg) in
+  let result, site_by_id, site_ids_of_var, transfer_instr =
+    reaching_definitions cfg
+  in
+  let reach = Cfg.reachable cfg in
+  let fname = Ast.qualified_name cfg.Cfg.func in
+  let acc = ref [] in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      if reach.(blk.Cfg.bid) then begin
+        let fact = ref result.DefSolver.before.(blk.Cfg.bid) in
+        List.iteri
+          (fun idx (instr : Cfg.instr) ->
+            (match instr.Cfg.i with
+             | Cfg.Icond (e, origin) ->
+               let env var =
+                 if
+                   Hashtbl.mem tracked var && not (SS.mem var escaped)
+                 then begin
+                   let reaching = IS.inter !fact (site_ids_of_var var) in
+                   if IS.is_empty reaching then None
+                   else
+                     IS.fold
+                       (fun id acc ->
+                         match (acc, site_by_id.(id)) with
+                         | `Start, Some { site_const = Some c; _ } -> `Const c
+                         | `Const c, Some { site_const = Some c'; _ } when c = c' ->
+                           `Const c
+                         | _ -> `Varies)
+                       reaching `Start
+                     |> function `Const c -> Some c | _ -> None
+                 end
+                 else None
+               in
+               let rec fold (e : Ast.expr) =
+                 match e.Ast.e with
+                 | Ast.Id x -> env x
+                 | Ast.Unary (op, a) -> (
+                     match (op, fold a) with
+                     | Ast.Neg, Some n -> Some (Int64.neg n)
+                     | Ast.Pos, Some n -> Some n
+                     | Ast.Lnot, Some n -> Some (if n = 0L then 1L else 0L)
+                     | Ast.Bnot, Some n -> Some (Int64.lognot n)
+                     | _ -> None)
+                 | Ast.Binary (op, a, b) -> (
+                     match (fold a, fold b) with
+                     | Some x, Some y -> fold_binop op x y
+                     | _ -> None)
+                 | _ -> fold_literal e
+               in
+               let literal = fold_literal e <> None in
+               (match fold e with
+                | Some c ->
+                  acc :=
+                    { c_loc = e.Ast.eloc; c_value = c <> 0L; c_origin = origin;
+                      c_function = fname; c_propagated = not literal }
+                    :: !acc
+                | None -> ())
+             | _ -> ());
+            fact := transfer_instr blk.Cfg.bid idx instr !fact)
+          blk.Cfg.instrs
+      end)
+    cfg.Cfg.blocks;
+  List.sort
+    (fun a b ->
+      compare (a.c_loc.Loc.line, a.c_loc.Loc.col) (b.c_loc.Loc.line, b.c_loc.Loc.col))
+    !acc
+
+(* ------------------------------------------------------------------ *)
+(* Unreachable code regions                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Contiguous regions of unreachable blocks that contain at least one
+    instruction, reported by the source location of the first instruction
+    in the region.  One region yields one finding, however many blocks
+    the dead construct lowered to. *)
+let unreachable_regions (cfg : Cfg.t) =
+  let reach = Cfg.reachable cfg in
+  let n = Cfg.n_blocks cfg in
+  let visited = Array.make n false in
+  let regions = ref [] in
+  let explore root =
+    let first = ref None in
+    let rec go id =
+      if (not visited.(id)) && not reach.(id) then begin
+        visited.(id) <- true;
+        (match (!first, Cfg.first_loc cfg.Cfg.blocks.(id)) with
+         | None, Some loc -> first := Some loc
+         | _ -> ());
+        List.iter (fun (dst, _) -> go dst) cfg.Cfg.blocks.(id).Cfg.succs
+      end
+    in
+    go root;
+    Option.iter (fun loc -> regions := loc :: !regions) !first
+  in
+  (* region roots: unreachable blocks with no unreachable predecessor *)
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      if
+        (not reach.(blk.Cfg.bid))
+        && (not visited.(blk.Cfg.bid))
+        && not (List.exists (fun p -> not reach.(p)) blk.Cfg.preds)
+      then explore blk.Cfg.bid)
+    cfg.Cfg.blocks;
+  (* safety net for pred-cycles of dead blocks with no root *)
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      if (not reach.(blk.Cfg.bid)) && not visited.(blk.Cfg.bid) then
+        explore blk.Cfg.bid)
+    cfg.Cfg.blocks;
+  List.sort
+    (fun (a : Loc.t) (b : Loc.t) -> compare (a.Loc.line, a.Loc.col) (b.Loc.line, b.Loc.col))
+    !regions
+
+(* ------------------------------------------------------------------ *)
+(* Per-function summary                                                *)
+(* ------------------------------------------------------------------ *)
+
+type func_summary = {
+  s_function : string;
+  s_blocks : int;
+  s_edges : int;
+  s_unreachable : int;  (** unreachable code regions *)
+  s_dead_stores : int;
+  s_uninit_reads : int;
+  s_const_conditions : int;  (** propagated constants only *)
+}
+
+let summarize_func (fn : Ast.func) =
+  match fn.Ast.f_body with
+  | None -> None
+  | Some _ ->
+    let cfg = Cfg.of_func fn in
+    Some
+      {
+        s_function = Ast.qualified_name fn;
+        s_blocks = Cfg.n_blocks cfg;
+        s_edges = Cfg.n_edges cfg;
+        s_unreachable = List.length (unreachable_regions cfg);
+        s_dead_stores = List.length (dead_stores cfg);
+        s_uninit_reads = List.length (uninit_reads cfg);
+        s_const_conditions =
+          List.length (List.filter (fun c -> c.c_propagated) (constant_conditions cfg));
+      }
+
+let summarize_functions fns = List.filter_map summarize_func fns
+
+type totals = {
+  t_functions : int;
+  t_blocks : int;
+  t_edges : int;
+  t_unreachable : int;
+  t_dead_stores : int;
+  t_uninit_reads : int;
+  t_const_conditions : int;
+}
+
+let zero_totals =
+  { t_functions = 0; t_blocks = 0; t_edges = 0; t_unreachable = 0;
+    t_dead_stores = 0; t_uninit_reads = 0; t_const_conditions = 0 }
+
+let add_totals a b =
+  {
+    t_functions = a.t_functions + b.t_functions;
+    t_blocks = a.t_blocks + b.t_blocks;
+    t_edges = a.t_edges + b.t_edges;
+    t_unreachable = a.t_unreachable + b.t_unreachable;
+    t_dead_stores = a.t_dead_stores + b.t_dead_stores;
+    t_uninit_reads = a.t_uninit_reads + b.t_uninit_reads;
+    t_const_conditions = a.t_const_conditions + b.t_const_conditions;
+  }
+
+let totals_of summaries =
+  List.fold_left
+    (fun t s ->
+      {
+        t_functions = t.t_functions + 1;
+        t_blocks = t.t_blocks + s.s_blocks;
+        t_edges = t.t_edges + s.s_edges;
+        t_unreachable = t.t_unreachable + s.s_unreachable;
+        t_dead_stores = t.t_dead_stores + s.s_dead_stores;
+        t_uninit_reads = t.t_uninit_reads + s.s_uninit_reads;
+        t_const_conditions = t.t_const_conditions + s.s_const_conditions;
+      })
+    zero_totals summaries

@@ -1,0 +1,43 @@
+(** Generic worklist fixpoint solver over a join-semilattice.
+
+    Facts are reported in execution order regardless of direction:
+    [before.(b)] holds at the first instruction of block [b] and
+    [after.(b)] past its last. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** least element; join identity and the initial value of every
+      non-boundary block *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = { before : L.t array; after : L.t array }
+
+  (** [solve ~cfg ~direction ~boundary ~transfer] iterates to the least
+      fixpoint.  [boundary] is the fact at the entry block (forward) or
+      exit block (backward); [transfer b fact] maps the fact across
+      block [b] in execution order for [Forward] and against it for
+      [Backward]. *)
+  val solve :
+    cfg:Cfg.t ->
+    direction:direction ->
+    boundary:L.t ->
+    transfer:(int -> L.t -> L.t) ->
+    result
+
+  (** Like {!solve}, also returning the number of transfer applications —
+      used by tests to check convergence on loops. *)
+  val solve_counted :
+    cfg:Cfg.t ->
+    direction:direction ->
+    boundary:L.t ->
+    transfer:(int -> L.t -> L.t) ->
+    result * int
+end

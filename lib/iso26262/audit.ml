@@ -68,6 +68,8 @@ let render audit =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Report.render_module_summaries audit.metrics);
   Buffer.add_char buf '\n';
+  Buffer.add_string buf (Report.render_dataflow audit.metrics);
+  Buffer.add_char buf '\n';
   Buffer.add_string buf
     (Report.render_findings
        ~title:"Paper Table 1: modeling and coding guidelines (ISO 26262-6 Table 1)"

@@ -27,6 +27,16 @@ let of_metrics (m : Project_metrics.t)
   let competitive =
     List.filter (fun (_, r) -> r >= 0.7 && r <= 1.4) open_vs_closed
   in
+  (* module with the most flow-sensitive findings, for Observation 2 *)
+  let worst_dataflow_module =
+    let score (mm : module_metrics) =
+      mm.dataflow.Dataflow.Analyses.t_dead_stores
+      + mm.dataflow.Dataflow.Analyses.t_unreachable
+    in
+    List.fold_left
+      (fun best mm -> if score mm > score best then mm else best)
+      (List.hd m.modules) m.modules
+  in
   [
     make 1 "AD frameworks present high cyclomatic complexity"
       (* scale-independent: more than 5% of functions above CC 10 *)
@@ -35,9 +45,14 @@ let of_metrics (m : Project_metrics.t)
       m.over10 m.over20 m.over50 (m.total_loc / 1000);
     make 2 "The CPU part of AD frameworks is not programmed to any safety guideline"
       (m.misra.Misra.Registry.rules_violated > 5)
-      "%d of %d MISRA-subset rules violated (%d violations total)"
+      "%d of %d MISRA-subset rules violated (%d violations total); dataflow: %d dead stores, %d unreachable regions (worst module %s: %d/%d)"
       m.misra.Misra.Registry.rules_violated m.misra.Misra.Registry.rules_checked
-      m.misra.Misra.Registry.total_violations;
+      m.misra.Misra.Registry.total_violations
+      m.dataflow.Dataflow.Analyses.t_dead_stores
+      m.dataflow.Dataflow.Analyses.t_unreachable
+      worst_dataflow_module.modname
+      worst_dataflow_module.dataflow.Dataflow.Analyses.t_dead_stores
+      worst_dataflow_module.dataflow.Dataflow.Analyses.t_unreachable;
     make 3 "No guideline or language subset exists for GPU code" true
       "our checker had to define its own CUDA rules (CUDA-1..CUDA-6); no published subset to implement";
     make 4 "CUDA code intrinsically uses pointers and dynamic memory"

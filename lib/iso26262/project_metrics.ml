@@ -11,6 +11,7 @@ type module_metrics = {
   globals : int;
   multi_exit_frac : float;
   gotos : int;
+  dataflow : Dataflow.Analyses.totals;
 }
 
 type t = {
@@ -41,6 +42,7 @@ type t = {
   namespace_depth : int;
   cuda : Cudasim.Census.t;
   misra : Misra.Registry.report;
+  dataflow : Dataflow.Analyses.totals;
 }
 
 let of_parsed (parsed : Cfront.Project.parsed) =
@@ -60,6 +62,8 @@ let of_parsed (parsed : Cfront.Project.parsed) =
           globals = List.length (Metrics.Globals.of_files pfs);
           multi_exit_frac = Metrics.Func_shape.multi_exit_fraction fns;
           gotos = Metrics.Func_shape.total_gotos fns;
+          dataflow =
+            Dataflow.Analyses.totals_of (Dataflow.Analyses.summarize_functions fns);
         })
       module_names
   in
@@ -108,6 +112,10 @@ let of_parsed (parsed : Cfront.Project.parsed) =
     namespace_depth = Metrics.Architecture.namespace_depth files;
     cuda = Cudasim.Census.of_files files;
     misra = Misra.Registry.run (Misra.Rule.build_context parsed);
+    dataflow =
+      List.fold_left
+        (fun t (m : module_metrics) -> Dataflow.Analyses.add_totals t m.dataflow)
+        Dataflow.Analyses.zero_totals per_module;
   }
 
 let find_module t name = List.find_opt (fun m -> m.modname = name) t.modules

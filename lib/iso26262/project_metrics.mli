@@ -11,6 +11,10 @@ type module_metrics = {
   globals : int;  (** mutable (non-const, non-extern) globals *)
   multi_exit_frac : float;
   gotos : int;
+  dataflow : Dataflow.Analyses.totals;
+      (** flow-sensitive counts (unreachable regions, dead stores,
+          uninitialized reads, propagated constant conditions) over the
+          module's defined functions *)
 }
 
 type t = {
@@ -41,6 +45,7 @@ type t = {
   namespace_depth : int;
   cuda : Cudasim.Census.t;
   misra : Misra.Registry.report;
+  dataflow : Dataflow.Analyses.totals;  (** project-wide sum of the per-module counts *)
 }
 
 (** Extract everything from a parsed project.  Cost is a few passes over

@@ -81,6 +81,36 @@ let render_module_summaries (m : Project_metrics.t) =
   in
   Util.Table.render tbl
 
+let dataflow_table (m : Project_metrics.t) =
+  let open Dataflow.Analyses in
+  let tbl =
+    Util.Table.make
+      ~title:"Flow-sensitive analysis per module (CFG + worklist fixpoint)"
+      ~header:
+        [ "module"; "functions"; "blocks"; "edges"; "unreachable";
+          "dead stores"; "uninit reads"; "const conds" ]
+      ~aligns:
+        [ Util.Table.Left; Util.Table.Right; Util.Table.Right; Util.Table.Right;
+          Util.Table.Right; Util.Table.Right; Util.Table.Right; Util.Table.Right ]
+      ()
+  in
+  let row name (t : totals) tbl =
+    Util.Table.add_row tbl
+      [ name; string_of_int t.t_functions; string_of_int t.t_blocks;
+        string_of_int t.t_edges; string_of_int t.t_unreachable;
+        string_of_int t.t_dead_stores; string_of_int t.t_uninit_reads;
+        string_of_int t.t_const_conditions ]
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl (mm : Project_metrics.module_metrics) ->
+        row mm.Project_metrics.modname mm.Project_metrics.dataflow tbl)
+      tbl m.Project_metrics.modules
+  in
+  row "total" m.Project_metrics.dataflow tbl
+
+let render_dataflow m = Util.Table.render (dataflow_table m)
+
 let render_coverage ~title (files : Coverage.Collector.file_coverage list) =
   let tbl =
     Util.Table.make ~title

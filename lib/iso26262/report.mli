@@ -16,6 +16,14 @@ val render_observations : Observations.t list -> string
 (** The Figure 3 per-module complexity/LOC/function table. *)
 val render_module_summaries : Project_metrics.t -> string
 
+(** Per-module flow-sensitive counts (CFG size, unreachable regions, dead
+    stores, uninitialized reads, propagated constant conditions) with a
+    totals row.  [dataflow_table] exposes the raw table for alternative
+    output formats. *)
+val dataflow_table : Project_metrics.t -> Util.Table.t
+
+val render_dataflow : Project_metrics.t -> string
+
 (** A Figure 5/6-style coverage table (statement, branch, MC/DC,
     function coverage, excluded functions) plus the averages line. *)
 val render_coverage :

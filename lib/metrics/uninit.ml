@@ -1,12 +1,16 @@
 (** Read-before-write detection for local variables.
 
-    A conservative, flow-insensitive-per-branch analysis in the spirit of
-    the compiler warnings the paper used ("using static code analysis
-    tools and compiler options, we have identified several variables as
-    uninitialized"): a local declared without an initializer is flagged if
-    some statement *may* read it before every path has assigned it.  We
-    walk the body in order; an assignment on one branch of an [if] does
-    not count as definite assignment. *)
+    Historically a one-pass syntactic walk with a documented
+    false-positive class: a variable assigned on *both* arms of an
+    [if]/[else] before its first read was still reported, because
+    branch assignments were never treated as definite.  The analysis now
+    delegates to the flow-sensitive definite-assignment pass in
+    {!Dataflow.Analyses} (CFG + worklist fixpoint), which joins branch
+    facts by intersection and therefore gets that case right, while
+    keeping this module's historical API: arrays and class-typed locals
+    stay exempt, taking a variable's address still counts as an
+    assignment (out-parameter and cudaMalloc idioms), and each variable
+    is reported at most once, at its earliest offending read. *)
 
 type finding = {
   var : string;
@@ -15,158 +19,19 @@ type finding = {
   in_function : string;
 }
 
-(* Variables read by an expression, except where it is the target of a
-   plain assignment (handled by the caller). *)
-let reads_of_expr e =
-  let acc = ref [] in
-  let rec go e =
-    match e.Cfront.Ast.e with
-    | Cfront.Ast.Id name -> acc := (name, e.Cfront.Ast.eloc) :: !acc
-    | Cfront.Ast.Unary (Cfront.Ast.Addr_of, { e = Cfront.Ast.Id _; _ }) ->
-      (* taking the address of a variable is not a read of its value *)
-      ()
-    | Cfront.Ast.Assign (Cfront.Ast.A_eq, { e = Cfront.Ast.Id _; _ }, rhs) ->
-      (* plain assignment to a simple name: only the RHS reads *)
-      go rhs
-    | Cfront.Ast.Assign (_, lhs, rhs) -> go lhs; go rhs
-    | _ ->
-      (* descend one level *)
-      (match e.Cfront.Ast.e with
-       | Cfront.Ast.Unary (_, a) | Cfront.Ast.Postfix (_, a)
-       | Cfront.Ast.C_cast (_, a) | Cfront.Ast.Cpp_cast (_, _, a)
-       | Cfront.Ast.Sizeof_expr a | Cfront.Ast.Delete { target = a; _ } -> go a
-       | Cfront.Ast.Throw a -> Option.iter go a
-       | Cfront.Ast.Binary (_, a, b) | Cfront.Ast.Index (a, b) -> go a; go b
-       | Cfront.Ast.Ternary (a, b, c) -> go a; go b; go c
-       | Cfront.Ast.Call (f, args) -> go f; List.iter go args
-       | Cfront.Ast.Kernel_launch { kernel; grid; block; args } ->
-         go kernel; go grid; go block; List.iter go args
-       | Cfront.Ast.Member { obj; _ } -> go obj
-       | Cfront.Ast.New { array_size; init_args; _ } ->
-         Option.iter go array_size;
-         List.iter go init_args
-       | _ -> ())
-  in
-  go e;
-  List.rev !acc
-
-(* Simple names definitely assigned by an expression.  Taking the address
-   of a variable counts as an assignment: the callee may initialize it,
-   as in out-parameters and the cudaMalloc with address-of idiom. *)
-let writes_of_expr e =
-  let acc = ref [] in
-  let rec go e =
-    match e.Cfront.Ast.e with
-    | Cfront.Ast.Assign (_, { e = Cfront.Ast.Id name; _ }, rhs) ->
-      acc := name :: !acc;
-      go rhs
-    | Cfront.Ast.Unary (Cfront.Ast.Addr_of, { e = Cfront.Ast.Id name; _ }) ->
-      acc := name :: !acc
-    | Cfront.Ast.Unary ((Cfront.Ast.Pre_inc | Cfront.Ast.Pre_dec), { e = Cfront.Ast.Id name; _ })
-    | Cfront.Ast.Postfix (_, { e = Cfront.Ast.Id name; _ }) ->
-      acc := name :: !acc
-    | _ ->
-      (match e.Cfront.Ast.e with
-       | Cfront.Ast.Unary (_, a) | Cfront.Ast.Postfix (_, a)
-       | Cfront.Ast.C_cast (_, a) | Cfront.Ast.Cpp_cast (_, _, a)
-       | Cfront.Ast.Sizeof_expr a | Cfront.Ast.Delete { target = a; _ } -> go a
-       | Cfront.Ast.Throw a -> Option.iter go a
-       | Cfront.Ast.Binary (_, a, b) | Cfront.Ast.Index (a, b)
-       | Cfront.Ast.Assign (_, a, b) -> go a; go b
-       | Cfront.Ast.Ternary (a, b, c) -> go a; go b; go c
-       | Cfront.Ast.Call (f, args) -> go f; List.iter go args
-       | Cfront.Ast.Kernel_launch { kernel; grid; block; args } ->
-         go kernel; go grid; go block; List.iter go args
-       | Cfront.Ast.Member { obj; _ } -> go obj
-       | Cfront.Ast.New { array_size; init_args; _ } ->
-         Option.iter go array_size;
-         List.iter go init_args
-       | _ -> ())
-  in
-  go e;
-  !acc
-
-type walk_state = {
-  mutable unassigned : (string * Cfront.Loc.t) list;  (** declared, no init yet *)
-  mutable findings : finding list;
-  fname : string;
-}
-
-let rec walk st ~definite (stmt : Cfront.Ast.stmt) =
-  let handle_expr e =
-    List.iter
-      (fun (name, use_loc) ->
-        match List.assoc_opt name st.unassigned with
-        | Some decl_loc ->
-          st.findings <-
-            { var = name; decl_loc; use_loc; in_function = st.fname } :: st.findings;
-          (* report once *)
-          st.unassigned <- List.remove_assoc name st.unassigned
-        | None -> ())
-      (reads_of_expr e);
-    if definite then
-      List.iter
-        (fun name -> st.unassigned <- List.remove_assoc name st.unassigned)
-        (writes_of_expr e)
-  in
-  let handle_decls ds =
-    List.iter
-      (fun (d : Cfront.Ast.var_decl) ->
-        match d.Cfront.Ast.v_init with
-        | Some init ->
-          handle_expr init
-        | None ->
-          (* arrays and class-typed locals are treated as initialized
-             (constructors / aggregate semantics) *)
-          (match d.Cfront.Ast.v_type with
-           | Cfront.Ast.Tarray _ | Cfront.Ast.Tnamed _ | Cfront.Ast.Ttemplate _ -> ()
-           | _ ->
-             if definite then
-               st.unassigned <- (d.Cfront.Ast.v_name, d.Cfront.Ast.v_loc) :: st.unassigned))
-      ds
-  in
-  match stmt.Cfront.Ast.s with
-  | Cfront.Ast.Sexpr e -> handle_expr e
-  | Cfront.Ast.Sdecl ds -> handle_decls ds
-  | Cfront.Ast.Sblock ss -> List.iter (walk st ~definite) ss
-  | Cfront.Ast.Sif { cond; then_; else_ } ->
-    handle_expr cond;
-    (* branches do not definitely assign *)
-    walk st ~definite:false then_;
-    Option.iter (walk st ~definite:false) else_
-  | Cfront.Ast.Swhile (c, body) ->
-    handle_expr c;
-    walk st ~definite:false body
-  | Cfront.Ast.Sdo_while (body, c) ->
-    (* a do-while body runs at least once: assignments are definite *)
-    walk st ~definite body;
-    handle_expr c
-  | Cfront.Ast.Sfor { init; cond; update; body } ->
-    (match init with
-     | Cfront.Ast.Fi_decl ds -> handle_decls ds
-     | Cfront.Ast.Fi_expr e -> handle_expr e
-     | Cfront.Ast.Fi_empty -> ());
-    Option.iter handle_expr cond;
-    walk st ~definite:false body;
-    Option.iter handle_expr update
-  | Cfront.Ast.Sswitch (e, body) ->
-    handle_expr e;
-    walk st ~definite:false body
-  | Cfront.Ast.Scase e -> handle_expr e
-  | Cfront.Ast.Sreturn (Some e) -> handle_expr e
-  | Cfront.Ast.Slabel (_, inner) -> walk st ~definite inner
-  | Cfront.Ast.Stry { body; catches } ->
-    walk st ~definite:false body;
-    List.iter (fun (_, s) -> walk st ~definite:false s) catches
-  | Cfront.Ast.Sreturn None | Cfront.Ast.Sempty | Cfront.Ast.Sdefault
-  | Cfront.Ast.Sbreak | Cfront.Ast.Scontinue | Cfront.Ast.Sgoto _ -> ()
-
 let of_func (fn : Cfront.Ast.func) =
   match fn.Cfront.Ast.f_body with
   | None -> []
-  | Some body ->
-    let st = { unassigned = []; findings = []; fname = Cfront.Ast.qualified_name fn } in
-    walk st ~definite:true body;
-    List.rev st.findings
+  | Some _ ->
+    let cfg = Dataflow.Cfg.of_func fn in
+    List.map
+      (fun (u : Dataflow.Analyses.uninit_finding) ->
+        {
+          var = u.Dataflow.Analyses.u_var;
+          decl_loc = u.Dataflow.Analyses.u_decl_loc;
+          use_loc = u.Dataflow.Analyses.u_use_loc;
+          in_function = u.Dataflow.Analyses.u_function;
+        })
+      (Dataflow.Analyses.uninit_reads cfg)
 
 let of_functions fns = List.concat_map of_func fns

@@ -6,7 +6,11 @@ let c_rules =
 
 let cuda_rules = Rules_cuda.all
 
-let all_rules = c_rules @ cuda_rules
+(** Flow-sensitive extended rules (dead stores, propagated constant
+    conditions) built on the dataflow engine. *)
+let dataflow_rules = Rules_dataflow.all
+
+let all_rules = c_rules @ cuda_rules @ dataflow_rules
 
 let find_rule id = List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) all_rules
 

@@ -7,6 +7,10 @@ val c_rules : Rule.t list
     3 says does not exist for GPU code. *)
 val cuda_rules : Rule.t list
 
+(** Flow-sensitive extended rules (DF-1 dead store, DF-2 propagated
+    constant condition) built on the dataflow engine. *)
+val dataflow_rules : Rule.t list
+
 val all_rules : Rule.t list
 val find_rule : string -> Rule.t option
 

@@ -1,0 +1,53 @@
+(** Extended rules built directly on the dataflow engine (CFG + worklist
+    fixpoint), in the spirit of the flow-sensitive commercial analyzers
+    the paper ran over Apollo.  Like the CUDA-* family these carry ids
+    outside the MISRA C:2012 numbering:
+
+    - DF-1: dead store — a value assigned (or a declaration initializer)
+      that no path ever reads.  Strictly wider than the dead-store arm of
+      rule 2.2, which skips declaration initializers.
+    - DF-2: constant controlling expression — a branch condition that
+      folds to a compile-time constant through trivial constant
+      propagation over reaching definitions.  Syntactic literal
+      conditions are rule 14.3's findings and are excluded here, so DF-2
+      reports exactly what flow-insensitive checking cannot see. *)
+
+open Cfront
+
+let each_defined_func (ctx : Rule.context) f =
+  List.concat_map
+    (fun fn -> match fn.Ast.f_body with None -> [] | Some _ -> f fn)
+    ctx.Rule.functions
+
+let df1 =
+  Rule.make ~id:"DF-1" ~title:"no dead stores (liveness)"
+    ~category:Rule.Advisory (fun ctx ->
+      each_defined_func ctx (fun fn ->
+          let cfg = Dataflow.Cfg.of_func fn in
+          List.map
+            (fun (d : Dataflow.Analyses.dead_store) ->
+              Rule.v ~rule_id:"DF-1" ~loc:d.Dataflow.Analyses.d_loc
+                "%s to %s is never read in %s"
+                (match d.Dataflow.Analyses.d_kind with
+                 | Dataflow.Analyses.Sassign -> "value assigned"
+                 | Dataflow.Analyses.Sdecl_init -> "initializer")
+                d.Dataflow.Analyses.d_var (Ast.qualified_name fn))
+            (Dataflow.Analyses.dead_stores cfg)))
+
+let df2 =
+  Rule.make ~id:"DF-2" ~title:"no constant controlling expressions (propagated)"
+    ~category:Rule.Advisory (fun ctx ->
+      each_defined_func ctx (fun fn ->
+          let cfg = Dataflow.Cfg.of_func fn in
+          List.filter_map
+            (fun (c : Dataflow.Analyses.const_cond) ->
+              if c.Dataflow.Analyses.c_propagated then
+                Some
+                  (Rule.v ~rule_id:"DF-2" ~loc:c.Dataflow.Analyses.c_loc
+                     "condition is always %s in %s"
+                     (if c.Dataflow.Analyses.c_value then "true" else "false")
+                     (Ast.qualified_name fn))
+              else None)
+            (Dataflow.Analyses.constant_conditions cfg)))
+
+let all = [ df1; df2 ]

@@ -191,7 +191,13 @@ let r12_2 =
             fn;
           List.rev !acc))
 
-(* 2.2: no dead code — an expression statement with no side effect. *)
+(* 2.2: no dead code.  Two complementary detectors:
+   - an expression statement with no side effect (syntactic, as before);
+   - a dead store: an assignment statement whose value is never read on
+     any path (flow-sensitive, via the liveness fixpoint in
+     [Dataflow.Analyses]).  This catches operations the syntactic scan
+     calls effectful but whose outcome cannot influence the program —
+     e.g. a store on one branch that every successor overwrites. *)
 let r2_2 =
   Rule.make ~id:"2.2" ~title:"no dead code" ~category:Rule.Required (fun ctx ->
       each_func ctx (fun fn ->
@@ -225,7 +231,16 @@ let r2_2 =
                     :: !acc
                 | _ -> ())
               body;
-            List.rev !acc))
+            let cfg = Dataflow.Cfg.of_func fn in
+            let dead =
+              List.map
+                (fun (d : Dataflow.Analyses.dead_store) ->
+                  Rule.v ~rule_id:"2.2" ~loc:d.Dataflow.Analyses.d_loc
+                    "dead store to %s in %s" d.Dataflow.Analyses.d_var
+                    (Ast.qualified_name fn))
+                (Dataflow.Analyses.dead_stores ~include_decl_init:false cfg)
+            in
+            List.rev_append !acc dead))
 
 (* 13.x: side effects inside && / || operands. *)
 let r13_5 =
