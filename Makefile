@@ -1,4 +1,4 @@
-.PHONY: all build test check clean
+.PHONY: all build test check bench clean
 
 all: build
 
@@ -8,10 +8,19 @@ build:
 test:
 	dune runtest
 
-# Full gate: build, unit tests, and an adcheck dataflow smoke run on the
-# small corpus (exercises generator -> parser -> CFG -> fixpoint -> report).
+# Full gate: build (including the bench executable), unit tests, and an
+# adcheck dataflow smoke run on the small corpus (exercises generator ->
+# parser -> CFG -> fixpoint -> report).
 check: build test
+	dune build bench/main.exe
 	dune exec bin/adcheck.exe -- dataflow --scale small
+
+# Machine-readable performance record: per-experiment wall time plus the
+# telemetry counter snapshot on the small corpus.
+bench:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- --scale small --out BENCH_1.json \
+	  table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8a fig8b observations
 
 clean:
 	dune clean

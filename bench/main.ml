@@ -1,27 +1,42 @@
-(** Benchmark harness: regenerates every table and figure of the paper and
-    micro-benchmarks the analysis kernels with Bechamel.
+(** Benchmark harness: regenerates every table and figure of the paper,
+    micro-benchmarks the analysis kernels with Bechamel, and (with
+    [--out]) writes a machine-readable BENCH_*.json performance record.
 
     Usage:
-      dune exec bench/main.exe            runs every experiment, then the
-                                          Bechamel micro-benchmarks
-      dune exec bench/main.exe -- NAMES   runs selected experiments, where
-                                          NAMES are among: table1 table2
-                                          table3 fig3 fig4 fig5 fig6 fig7
-                                          fig8a fig8b observations micro
+      dune exec bench/main.exe -- [OPTIONS] [NAMES]
+
+    NAMES select experiments (default: all), among: table1 table2 table3
+    fig3 fig4 fig5 fig6 fig7 fig8a fig8b observations ... micro.  An
+    unknown name aborts with the valid list before anything runs.
+
+    Options:
+      --scale small|full   corpus scale for the audit (default full)
+      --seed N             generator seed (default 2019)
+      --out FILE           write per-experiment wall time + telemetry
+                           counter snapshots as JSON (e.g. BENCH_1.json)
 
     Experiment ids follow DESIGN.md's per-experiment index. *)
 
 let gpu = Gpuperf.Device.titan_v
 let cpu = Gpuperf.Device.xeon_e5
 
-(* The audited corpus and all derived artifacts, computed once. *)
+let bench_seed = ref 2019
+let bench_scale = ref `Full
+
+(* The audited corpus and all derived artifacts, computed once (reads
+   the --scale/--seed refs, which are set before the first force). *)
 let audit =
   lazy
     (let ratios =
        List.map (fun (l, r) -> (l, r)) (Gpuperf.Suites.gemm_comparison ~device:gpu)
        @ List.map (fun (l, _, r) -> (l, r)) (Gpuperf.Suites.conv_comparison ~device:gpu)
      in
-     Iso26262.Audit.run ~open_vs_closed:ratios ())
+     let specs =
+       match !bench_scale with
+       | `Full -> Corpus.Apollo_profile.full
+       | `Small -> Corpus.Apollo_profile.small
+     in
+     Iso26262.Audit.run ~seed:!bench_seed ~specs ~open_vs_closed:ratios ())
 
 let metrics () = (Lazy.force audit).Iso26262.Audit.metrics
 
@@ -658,15 +673,120 @@ let experiments =
     ("micro", run_micro);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Driver: argument parsing, validation, BENCH json                     *)
+(* ------------------------------------------------------------------ *)
+
+let valid_names () = String.concat ", " (List.map fst experiments)
+
+let counter_delta before after =
+  List.filter_map
+    (fun (k, v) ->
+      let d = v - Option.value ~default:0 (List.assoc_opt k before) in
+      if d <> 0 then Some (k, d) else None)
+    after
+
+let json_int_obj buf kvs =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%d" (Telemetry.json_escape k) v))
+    kvs;
+  Buffer.add_char buf '}'
+
+let write_bench_json ~path ~scale ~seed results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"adcheck-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scale\": \"%s\",\n"
+       (match scale with `Full -> "full" | `Small -> "small"));
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf "  \"experiments\": [";
+  List.iteri
+    (fun i (name, wall_ms, counters) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"name\": \"%s\", \"wall_ms\": %.3f, \"counters\": "
+           (Telemetry.json_escape name) wall_ms);
+      json_int_obj buf counters;
+      Buffer.add_char buf '}')
+    results;
+  Buffer.add_string buf "\n  ],\n  \"counters\": ";
+  json_int_obj buf (Telemetry.counters ());
+  Buffer.add_string buf ",\n  \"gauges\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%g" (Telemetry.json_escape k) v))
+    (Telemetry.gauges ());
+  Buffer.add_string buf "}\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let selected = if args = [] then List.map fst experiments else args in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some run -> run ()
-      | None ->
-        Printf.eprintf "unknown experiment %s (known: %s)\n" name
-          (String.concat ", " (List.map fst experiments));
-        exit 1)
-    selected
+  let out = ref None in
+  let names = ref [] in
+  let usage_fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Util.Log.error "%s" msg;
+        exit 2)
+      fmt
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      (match v with
+       | "small" -> bench_scale := `Small
+       | "full" -> bench_scale := `Full
+       | _ -> usage_fail "unknown scale %s (valid: small, full)" v);
+      parse_args rest
+    | "--seed" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n -> bench_seed := n
+       | None -> usage_fail "--seed expects an integer, got %s" v);
+      parse_args rest
+    | "--out" :: v :: rest ->
+      out := Some v;
+      parse_args rest
+    | [ ("--scale" | "--seed" | "--out") as flag ] ->
+      usage_fail "%s expects an argument" flag
+    | opt :: _ when String.length opt >= 2 && String.sub opt 0 2 = "--" ->
+      usage_fail "unknown option %s (valid: --scale, --seed, --out)" opt
+    | name :: rest ->
+      names := name :: !names;
+      parse_args rest
+  in
+  parse_args args;
+  let selected = if !names = [] then List.map fst experiments else List.rev !names in
+  (* validate every requested name before running anything *)
+  (match List.filter (fun n -> not (List.mem_assoc n experiments)) selected with
+   | [] -> ()
+   | unknown ->
+     usage_fail "unknown experiment%s %s (valid: %s)"
+       (if List.length unknown > 1 then "s" else "")
+       (String.concat ", " unknown) (valid_names ()));
+  if !out <> None then Telemetry.set_enabled true;
+  let results =
+    List.map
+      (fun name ->
+        let run = List.assoc name experiments in
+        let before = Telemetry.counters () in
+        let t0 = Telemetry.now_us () in
+        Telemetry.with_span ~cat:"bench" ("bench." ^ name) run;
+        let wall_ms = (Telemetry.now_us () -. t0) /. 1e3 in
+        Util.Log.info "%s: %.1f ms" name wall_ms;
+        (name, wall_ms, counter_delta before (Telemetry.counters ())))
+      selected
+  in
+  match !out with
+  | None -> ()
+  | Some path ->
+    write_bench_json ~path ~scale:!bench_scale ~seed:!bench_seed results;
+    Util.Log.info "wrote %s" path

@@ -20,6 +20,47 @@ let seed_arg =
   let doc = "Generator seed; every figure is deterministic in the seed." in
   Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON of the run to $(docv) (open it in \
+     chrome://tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc = "Print telemetry summary tables (spans, counters, hot functions) after the run." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let verbose_arg =
+  let doc = "Log progress to stderr (same as ADCHECK_LOG=info; ADCHECK_LOG=debug goes further)." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+(** Bundle of the global instrumentation flags, shared by every subcommand. *)
+let telemetry_term =
+  Term.(
+    const (fun trace stats verbose -> (trace, stats, verbose))
+    $ trace_arg $ stats_arg $ verbose_arg)
+
+(** Run [f] under a per-subcommand telemetry span; afterwards write the
+    Chrome trace and/or print the stats tables when requested.  The
+    exporters run even if [f] raises, so a failed run still leaves a
+    trace to look at. *)
+let with_telemetry ~cmd (trace, stats, verbose) f =
+  if verbose && Util.Log.level () = Util.Log.Warn then
+    Util.Log.set_level Util.Log.Info;
+  if trace <> None || stats then Telemetry.set_enabled true;
+  let finish () =
+    (match trace with
+     | Some path ->
+       Telemetry.write_chrome_trace ~path;
+       Util.Log.info "wrote Chrome trace to %s" path
+     | None -> ());
+    if stats then print_string (Telemetry.render_stats ())
+  in
+  Util.Log.debug "starting %s" cmd;
+  Fun.protect ~finally:finish (fun () ->
+      Telemetry.with_span ~cat:"adcheck" ("adcheck." ^ cmd) f)
+
 let scale_arg =
   let doc = "Corpus scale: $(b,full) (228k LOC, as the paper) or $(b,small) (~18k LOC, fast)." in
   Arg.(value & opt (enum [ ("full", `Full); ("small", `Small) ]) `Full
@@ -39,7 +80,9 @@ let gpu_ratios () =
 (* ------------------------------------------------------------------ *)
 
 let audit_cmd =
-  let run seed scale =
+  let run seed scale tele =
+    with_telemetry ~cmd:"audit" tele @@ fun () ->
+    Util.Log.info "auditing the Apollo-profile corpus (seed %d)" seed;
     let audit =
       Iso26262.Audit.run ~seed ~specs:(specs_of scale)
         ~open_vs_closed:(gpu_ratios ()) ()
@@ -47,7 +90,7 @@ let audit_cmd =
     print_string (Iso26262.Audit.render audit)
   in
   let doc = "Run the complete ISO 26262 Part 6 assessment (Tables 1-3, Figures 3-6, Observations)." in
-  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ seed_arg $ scale_arg)
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ seed_arg $ scale_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* complexity                                                           *)
@@ -62,7 +105,8 @@ let format_arg =
        & info [ "format" ] ~docv:"FORMAT" ~doc)
 
 let complexity_cmd =
-  let run seed scale format =
+  let run seed scale format tele =
+    with_telemetry ~cmd:"complexity" tele @@ fun () ->
     let project = Corpus.Generator.generate ~seed (specs_of scale) in
     let parsed = Cfront.Project.parse project in
     let metrics = Iso26262.Project_metrics.of_parsed parsed in
@@ -89,7 +133,8 @@ let complexity_cmd =
     print_string (Util.Table.render_as format tbl)
   in
   let doc = "Per-module cyclomatic complexity, LOC and function counts (Figure 3)." in
-  Cmd.v (Cmd.info "complexity" ~doc) Term.(const run $ seed_arg $ scale_arg $ format_arg)
+  Cmd.v (Cmd.info "complexity" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ format_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* misra                                                                *)
@@ -104,7 +149,8 @@ let misra_cmd =
     let doc = "Maximum violations to list with --rule." in
     Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N" ~doc)
   in
-  let run seed scale rule limit =
+  let run seed scale rule limit tele =
+    with_telemetry ~cmd:"misra" tele @@ fun () ->
     let project = Corpus.Generator.generate ~seed (specs_of scale) in
     let parsed = Cfront.Project.parse project in
     let report = Misra.Registry.run_project parsed in
@@ -121,7 +167,7 @@ let misra_cmd =
             (fun ((r : Misra.Rule.t), _) -> r.Misra.Rule.id = id)
             report.Misra.Registry.per_rule
         with
-        | None -> Printf.eprintf "unknown rule %s\n" id
+        | None -> Util.Log.error "unknown rule %s" id
         | Some (r, vs) ->
           Printf.printf "%s (%s, %s): %d violations\n" r.Misra.Rule.id
             r.Misra.Rule.title
@@ -137,7 +183,7 @@ let misra_cmd =
   in
   let doc = "Check the corpus against the MISRA C:2012 subset and the CUDA extension rules." in
   Cmd.v (Cmd.info "misra" ~doc)
-    Term.(const run $ seed_arg $ scale_arg $ rule_arg $ limit_arg)
+    Term.(const run $ seed_arg $ scale_arg $ rule_arg $ limit_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* dataflow                                                             *)
@@ -148,7 +194,8 @@ let dataflow_cmd =
     let doc = "List individual findings for functions whose qualified name contains $(docv)." in
     Arg.(value & opt (some string) None & info [ "function" ] ~docv:"NAME" ~doc)
   in
-  let run seed scale format fname =
+  let run seed scale format fname tele =
+    with_telemetry ~cmd:"dataflow" tele @@ fun () ->
     let project = Corpus.Generator.generate ~seed (specs_of scale) in
     let parsed = Cfront.Project.parse project in
     match fname with
@@ -197,14 +244,14 @@ let dataflow_cmd =
               (Dataflow.Analyses.constant_conditions cfg)
           | _ -> ())
         (Cfront.Project.all_functions parsed);
-      if !matched = 0 then Printf.eprintf "no defined function matches %s\n" needle
+      if !matched = 0 then Util.Log.error "no defined function matches %s" needle
   in
   let doc =
     "Flow-sensitive analysis over the corpus: CFG sizes, unreachable regions, \
      dead stores, uninitialized reads and propagated constant conditions per module."
   in
   Cmd.v (Cmd.info "dataflow" ~doc)
-    Term.(const run $ seed_arg $ scale_arg $ format_arg $ function_arg)
+    Term.(const run $ seed_arg $ scale_arg $ format_arg $ function_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* coverage                                                             *)
@@ -216,7 +263,8 @@ let coverage_cmd =
     Arg.(value & opt (enum [ ("yolo", `Yolo); ("stencil", `Stencil) ]) `Yolo
          & info [ "subject" ] ~docv:"SUBJECT" ~doc)
   in
-  let run subject =
+  let run subject tele =
+    with_telemetry ~cmd:"coverage" tele @@ fun () ->
     let tus, measured, entry, title =
       match subject with
       | `Yolo ->
@@ -233,12 +281,12 @@ let coverage_cmd =
     let result = Cudasim.Runner.run ~entry ~measured tus in
     (match result.Cudasim.Runner.exit_value with
      | Ok _ -> ()
-     | Error e -> Printf.eprintf "execution failed: %s\n" e);
+     | Error e -> Util.Log.error "execution failed: %s" e);
     print_string result.Cudasim.Runner.output;
     print_string (Iso26262.Report.render_coverage ~title result.Cudasim.Runner.files)
   in
   let doc = "Run the dynamic coverage experiments (statement, branch, MC/DC)." in
-  Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ subject_arg)
+  Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ subject_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* gpuperf                                                              *)
@@ -259,7 +307,8 @@ let gpuperf_cmd =
              Gpuperf.Device.titan_v
          & info [ "gpu" ] ~docv:"GPU" ~doc)
   in
-  let run experiment gpu =
+  let run experiment gpu tele =
+    with_telemetry ~cmd:"gpuperf" tele @@ fun () ->
     match experiment with
     | `F7 ->
       List.iter
@@ -281,7 +330,8 @@ let gpuperf_cmd =
         (Gpuperf.Suites.conv_comparison ~device:gpu)
   in
   let doc = "Open- vs closed-source GPU library performance model (Figures 7, 8a, 8b)." in
-  Cmd.v (Cmd.info "gpuperf" ~doc) Term.(const run $ experiment_arg $ gpu_arg)
+  Cmd.v (Cmd.info "gpuperf" ~doc)
+    Term.(const run $ experiment_arg $ gpu_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* corpus                                                               *)
@@ -292,7 +342,8 @@ let corpus_cmd =
     let doc = "Directory to write the generated sources into." in
     Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc)
   in
-  let run seed scale out =
+  let run seed scale out tele =
+    with_telemetry ~cmd:"corpus" tele @@ fun () ->
     let project = Corpus.Generator.generate ~seed (specs_of scale) in
     let files = Cfront.Project.all_files project in
     List.iter
@@ -312,7 +363,8 @@ let corpus_cmd =
     Printf.printf "wrote %d files under %s\n" (List.length files) out
   in
   let doc = "Write the generated Apollo-profile corpus to disk for inspection or external tools." in
-  Cmd.v (Cmd.info "corpus" ~doc) Term.(const run $ seed_arg $ scale_arg $ out_arg)
+  Cmd.v (Cmd.info "corpus" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ out_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* check: analyze user-provided files                                   *)
@@ -323,7 +375,8 @@ let check_cmd =
     let doc = "C/C++/CUDA source files to analyze." in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
-  let run paths =
+  let run paths tele =
+    with_telemetry ~cmd:"check" tele @@ fun () ->
     let read path =
       let ic = open_in_bin path in
       let n = in_channel_length ic in
@@ -358,14 +411,15 @@ let check_cmd =
     print_string (Misra.Registry.render_summary report)
   in
   let doc = "Parse C/C++/CUDA files from disk and report complexity plus MISRA-subset violations." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ files_arg)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ files_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* wcet                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let wcet_cmd =
-  let run seed scale =
+  let run seed scale tele =
+    with_telemetry ~cmd:"wcet" tele @@ fun () ->
     let project = Corpus.Generator.generate ~seed (specs_of scale) in
     let parsed = Cfront.Project.parse project in
     List.iter
@@ -381,14 +435,15 @@ let wcet_cmd =
       (Cfront.Project.module_names project)
   in
   let doc = "Classify functions by static WCET analyzability (constant/parametric/unbounded loops)." in
-  Cmd.v (Cmd.info "wcet" ~doc) Term.(const run $ seed_arg $ scale_arg)
+  Cmd.v (Cmd.info "wcet" ~doc) Term.(const run $ seed_arg $ scale_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* brook                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let brook_cmd =
-  let run seed scale =
+  let run seed scale tele =
+    with_telemetry ~cmd:"brook" tele @@ fun () ->
     let project = Corpus.Generator.generate ~seed (specs_of scale) in
     let parsed = Cfront.Project.parse project in
     let reports = Cudasim.Brook_auto.of_files parsed.Cfront.Project.files in
@@ -403,14 +458,15 @@ let brook_cmd =
       s.Cudasim.Brook_auto.needs_gather s.Cudasim.Brook_auto.not_portable
   in
   let doc = "Check CUDA kernels for Brook Auto (certifiable stream subset) portability." in
-  Cmd.v (Cmd.info "brook" ~doc) Term.(const run $ seed_arg $ scale_arg)
+  Cmd.v (Cmd.info "brook" ~doc) Term.(const run $ seed_arg $ scale_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* faults                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let faults_cmd =
-  let run () =
+  let run tele =
+    with_telemetry ~cmd:"faults" tele @@ fun () ->
     List.iter
       (fun (o : Corpus.Fault_src.outcome) ->
         Printf.printf "%-26s %-7s %s\n"
@@ -420,7 +476,7 @@ let faults_cmd =
       (Corpus.Fault_src.run_all ())
   in
   let doc = "Run the fault-injection scenarios (invalid inputs against the YOLO entry points)." in
-  Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ telemetry_term)
 
 let () =
   let doc = "ISO 26262 software-guideline assessment for AD software (DAC 2019 reproduction)" in

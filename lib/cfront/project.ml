@@ -61,7 +61,12 @@ let scan_type_names (files : source_file list) =
   List.sort_uniq compare !names
 
 let parse t =
-  let extra_types = scan_type_names (all_files t) in
+  let sp = Telemetry.start_span ~cat:"cfront" "parse" in
+  let t0 = Telemetry.now_us () in
+  let extra_types =
+    Telemetry.with_span ~cat:"cfront" "parse.scan_types" (fun () ->
+        scan_type_names (all_files t))
+  in
   let files =
     List.concat_map
       (fun m ->
@@ -71,6 +76,23 @@ let parse t =
           m.m_files)
       t.p_modules
   in
+  let n_files = List.length files in
+  let ast_nodes =
+    List.fold_left
+      (fun acc pf -> acc + pf.tu.Ast.n_exprs + pf.tu.Ast.n_stmts)
+      0 files
+  in
+  Telemetry.add "parse.files" n_files;
+  Telemetry.add "parse.ast_nodes" ast_nodes;
+  Telemetry.add "parse.diagnostics"
+    (List.fold_left (fun acc pf -> acc + List.length pf.tu.Ast.diags) 0 files);
+  let dt_s = (Telemetry.now_us () -. t0) /. 1e6 in
+  if Telemetry.enabled () then
+    Telemetry.set_gauge "parse.files_per_s"
+      (float_of_int n_files /. Stdlib.max 1e-9 dt_s);
+  Telemetry.end_span sp
+    ~attrs:[ ("files", string_of_int n_files);
+             ("ast_nodes", string_of_int ast_nodes) ];
   { project = t; files }
 
 let parsed_files_of_module parsed modname =

@@ -691,7 +691,20 @@ let generate_module rng (spec : Apollo_profile.module_spec) =
 
 (** Generate the whole project for a profile.  [seed] fixes everything. *)
 let generate ?(seed = 2019) (specs : Apollo_profile.module_spec list) =
-  Namegen.reset ();
-  let rng = Util.Rng.create seed in
-  let modules = List.map (generate_module rng) specs in
-  Cfront.Project.make ~name:"apollo-corpus" modules
+  Telemetry.with_span ~cat:"corpus" "corpus"
+    ~attrs:[ ("seed", string_of_int seed);
+             ("modules", string_of_int (List.length specs)) ]
+    (fun () ->
+      Namegen.reset ();
+      let rng = Util.Rng.create seed in
+      let modules = List.map (generate_module rng) specs in
+      let project = Cfront.Project.make ~name:"apollo-corpus" modules in
+      Telemetry.add "corpus.modules" (List.length modules);
+      Telemetry.add "corpus.files" (Cfront.Project.file_count project);
+      Telemetry.add "corpus.bytes"
+        (List.fold_left
+           (fun acc (f : Cfront.Project.source_file) ->
+             acc + String.length f.Cfront.Project.content)
+           0
+           (Cfront.Project.all_files project));
+      project)

@@ -33,6 +33,7 @@ let hooks t : Interp.hooks =
     on_switch = (fun sid clause -> bump t.switch_hits (sid, clause));
     on_call = (fun name -> bump t.calls name);
     on_kernel_launch = (fun name ~grid:_ ~block:_ -> bump t.kernel_launches name);
+    on_function_stmt = (fun _ -> ());
   }
 
 let function_called t name = Hashtbl.mem t.calls name

@@ -28,6 +28,9 @@ type hooks = {
   on_switch : int -> int -> unit;  (** switch sid, clause index taken *)
   on_call : string -> unit;  (** qualified function name *)
   on_kernel_launch : string -> grid:int -> block:int -> unit;
+  on_function_stmt : string -> unit;
+      (** qualified name of the function executing each statement; the
+          telemetry hot-function profile aggregates these *)
 }
 
 let null_hooks =
@@ -37,7 +40,41 @@ let null_hooks =
     on_switch = (fun _ _ -> ());
     on_call = (fun _ -> ());
     on_kernel_launch = (fun _ ~grid:_ ~block:_ -> ());
+    on_function_stmt = (fun _ -> ());
   }
+
+(** Wrap [base] so the interpreter also feeds the global telemetry sink:
+    statement/call/kernel-launch counters plus per-function statement
+    counts under "interp.fn." (the hot-function profile).  When
+    telemetry is disabled at construction time, [base] is returned
+    unchanged and the interpreter pays nothing. *)
+let telemetry_hooks ?(base = null_hooks) () =
+  if not (Telemetry.enabled ()) then base
+  else
+    {
+      on_stmt =
+        (fun sid ->
+          Telemetry.incr "interp.stmts";
+          base.on_stmt sid);
+      on_decision =
+        (fun eid conds outcome ->
+          Telemetry.incr "interp.decisions";
+          base.on_decision eid conds outcome);
+      on_switch = base.on_switch;
+      on_call =
+        (fun name ->
+          Telemetry.incr "interp.calls";
+          base.on_call name);
+      on_kernel_launch =
+        (fun name ~grid ~block ->
+          Telemetry.incr "interp.kernel_launches";
+          Telemetry.add "interp.kernel_threads" (grid * block);
+          base.on_kernel_launch name ~grid ~block);
+      on_function_stmt =
+        (fun fn ->
+          Telemetry.incr ("interp.fn." ^ fn);
+          base.on_function_stmt fn);
+    }
 
 type layout = {
   l_size : int;
@@ -57,6 +94,7 @@ type env = {
   mutable cuda_dims : (string * int64) list;  (** threadIdx.x etc. during kernel runs *)
   mutable rand_state : int64;
   mutable diagnostics : string list;
+  mutable cur_fn : string;  (** qualified name of the executing function *)
 }
 
 type frame = { mutable vars : (string * (Value.ptr * Cfront.Ast.ctype)) list }
@@ -134,6 +172,7 @@ let create ?(hooks = null_hooks) ?(max_steps = 50_000_000) () =
     cuda_dims = [];
     rand_state = 0x2545F4914F6CDD1DL;
     diagnostics = [];
+    cur_fn = "";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -565,6 +604,9 @@ and eval_call_args env frame (fn : Cfront.Ast.func) args =
 
 and call_function env (fn : Cfront.Ast.func) (arg_values : Value.t list) =
   env.hooks.on_call (Cfront.Ast.qualified_name fn);
+  let caller_fn = env.cur_fn in
+  env.cur_fn <- Cfront.Ast.qualified_name fn;
+  Fun.protect ~finally:(fun () -> env.cur_fn <- caller_fn) @@ fun () ->
   let callee_frame = { vars = [] } in
   List.iteri
     (fun i (p : Cfront.Ast.param) ->
@@ -696,7 +738,10 @@ and exec_block env frame stmts =
 
 and exec_stmt env frame (stmt : Cfront.Ast.stmt) =
   tick env stmt.Cfront.Ast.sloc;
-  if Instrument.is_executable stmt then env.hooks.on_stmt stmt.Cfront.Ast.sid;
+  if Instrument.is_executable stmt then begin
+    env.hooks.on_stmt stmt.Cfront.Ast.sid;
+    if env.cur_fn <> "" then env.hooks.on_function_stmt env.cur_fn
+  end;
   match stmt.Cfront.Ast.s with
   | Cfront.Ast.Sempty -> ()
   | Cfront.Ast.Sexpr e -> ignore (eval env frame e)

@@ -22,9 +22,19 @@ type hooks = {
   on_switch : int -> int -> unit;  (** switch sid, clause index taken *)
   on_call : string -> unit;  (** qualified function name *)
   on_kernel_launch : string -> grid:int -> block:int -> unit;
+  on_function_stmt : string -> unit;
+      (** qualified name of the enclosing function, fired once per
+          executed statement — drives the telemetry hot-function
+          profile *)
 }
 
 val null_hooks : hooks
+
+(** [telemetry_hooks ?base ()] layers global-telemetry recording
+    (statement / call / kernel-launch counters, per-function statement
+    counts under ["interp.fn."]) over [base].  Returns [base] unchanged
+    when telemetry is disabled at construction time. *)
+val telemetry_hooks : ?base:hooks -> unit -> hooks
 
 (** Interpreter state: store, globals, functions, struct layouts. *)
 type env

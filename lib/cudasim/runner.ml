@@ -17,9 +17,14 @@ type result = {
     [measured] (paths); other files (test drivers) run but are not
     scored. *)
 let run ?(entry = "main") ~measured (tus : Cfront.Ast.tu list) =
+  Telemetry.with_span ~cat:"coverage" "coverage"
+    ~attrs:[ ("entry", entry); ("tus", string_of_int (List.length tus)) ]
+  @@ fun () ->
   let collector = Coverage.Collector.create () in
   let env =
-    Coverage.Interp.create ~hooks:(Coverage.Collector.hooks collector) ()
+    Coverage.Interp.create
+      ~hooks:(Coverage.Interp.telemetry_hooks ~base:(Coverage.Collector.hooks collector) ())
+      ()
   in
   let exit_value = Coverage.Interp.run env tus ~entry ~args:[] in
   let files =

@@ -530,7 +530,13 @@ let summarize_func (fn : Ast.func) =
           List.length (List.filter (fun c -> c.c_propagated) (constant_conditions cfg));
       }
 
-let summarize_functions fns = List.filter_map summarize_func fns
+let summarize_functions fns =
+  Telemetry.with_span ~cat:"dataflow" "dataflow"
+    ~attrs:[ ("functions", string_of_int (List.length fns)) ]
+    (fun () ->
+      let summaries = List.filter_map summarize_func fns in
+      Telemetry.add "dataflow.functions" (List.length summaries);
+      summaries)
 
 type totals = {
   t_functions : int;

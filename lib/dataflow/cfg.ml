@@ -295,6 +295,8 @@ let of_func (fn : Ast.func) =
         blk.succs <- List.rev blk.succs;
         blk.preds <- List.sort_uniq compare blk.preds)
       blocks;
+    Telemetry.incr "dataflow.cfgs";
+    Telemetry.add "dataflow.blocks" b.n_blocks;
     { func = fn; blocks; entry = entry.bid; exit_ = exit_.bid }
 
 (* ------------------------------------------------------------------ *)

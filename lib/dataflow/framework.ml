@@ -50,9 +50,11 @@ module Make (L : LATTICE) = struct
       end
     in
     for id = 0 to n - 1 do enqueue id done;
+    let transfers = ref 0 in
     while not (Queue.is_empty queue) do
       let id = Queue.take queue in
       queued.(id) <- false;
+      Stdlib.incr transfers;
       let in_fact =
         List.fold_left
           (fun acc src -> L.join acc output.(src))
@@ -71,6 +73,9 @@ module Make (L : LATTICE) = struct
         List.iter enqueue dependents
       end
     done;
+    Telemetry.incr "dataflow.solves";
+    Telemetry.add "dataflow.transfers" !transfers;
+    Telemetry.max_gauge "dataflow.max_transfers_per_solve" (float_of_int !transfers);
     match direction with
     | Forward -> { before = input; after = output }
     | Backward -> { before = output; after = input }

@@ -62,16 +62,20 @@ let relative lib baseline w =
   baseline.Library_model.time_ms w /. lib.Library_model.time_ms w
 
 let gemm_comparison ~device =
+  Telemetry.with_span ~cat:"gpuperf" "gpuperf.gemm" @@ fun () ->
   let open Library_model in
   let cutlass = cutlass device and cublas = cublas device in
+  Telemetry.add "gpuperf.workloads" (List.length gemm_suite);
   List.map
     (fun case ->
       (case.g_label, relative cutlass cublas (Workload.Gemm case.g)))
     gemm_suite
 
 let conv_comparison ~device =
+  Telemetry.with_span ~cat:"gpuperf" "gpuperf.conv" @@ fun () ->
   let open Library_model in
   let isaac = isaac device and cudnn = cudnn device in
+  Telemetry.add "gpuperf.workloads" (List.length conv_suite);
   List.map
     (fun case ->
       (case.c_label, case.domain, relative isaac cudnn (Workload.Conv case.c)))

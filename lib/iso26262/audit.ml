@@ -36,6 +36,10 @@ let run_stencil_coverage () =
     keeps this library independent of the performance model). *)
 let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
     ?(thresholds = Assess.default_thresholds) ?(open_vs_closed = []) () =
+  Telemetry.with_span ~cat:"audit" "audit"
+    ~attrs:[ ("seed", string_of_int seed);
+             ("modules", string_of_int (List.length specs)) ]
+  @@ fun () ->
   let project = Corpus.Generator.generate ~seed specs in
   let parsed = Cfront.Project.parse project in
   let metrics = Project_metrics.of_parsed parsed in
@@ -47,6 +51,7 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
   (match stencil_exit with
    | Ok _ -> ()
    | Error e -> failwith ("stencil coverage scenario failed: " ^ e));
+  Telemetry.with_span ~cat:"audit" "audit.assess" @@ fun () ->
   {
     parsed;
     metrics;

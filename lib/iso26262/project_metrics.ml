@@ -46,6 +46,9 @@ type t = {
 }
 
 let of_parsed (parsed : Cfront.Project.parsed) =
+  Telemetry.with_span ~cat:"metrics" "metrics"
+    ~attrs:[ ("files", string_of_int (List.length parsed.Cfront.Project.files)) ]
+  @@ fun () ->
   let module_names = Cfront.Project.module_names parsed.Cfront.Project.project in
   let per_module =
     List.map

@@ -37,6 +37,7 @@ let calls_marker markers (fns : Cfront.Ast.func list) =
 (** Module of a qualified function name, given the per-module function
     sets. *)
 let build ~(parsed : Cfront.Project.parsed) =
+  Telemetry.with_span ~cat:"metrics" "metrics.architecture" @@ fun () ->
   let module_names = Cfront.Project.module_names parsed.Cfront.Project.project in
   let per_module =
     List.map

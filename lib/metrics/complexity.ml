@@ -99,9 +99,13 @@ let nesting_of_func (fn : Cfront.Ast.func) =
 type func_cc = { fn : Cfront.Ast.func; cc : int }
 
 let of_functions ?(count_short_circuit = true) fns =
-  List.map
-    (fun fn -> { fn; cc = of_func ~count_short_circuit fn })
-    (List.filter (fun f -> f.Cfront.Ast.f_body <> None) fns)
+  let ccs =
+    List.map
+      (fun fn -> { fn; cc = of_func ~count_short_circuit fn })
+      (List.filter (fun f -> f.Cfront.Ast.f_body <> None) fns)
+  in
+  Telemetry.add "metrics.cc_functions" (List.length ccs);
+  ccs
 
 type module_summary = {
   modname : string;

@@ -65,18 +65,35 @@ let apply_deviations deviations per_rule =
   (per_rule, List.rev !outcomes)
 
 let run ?(rules = all_rules) ?(deviations = []) ctx =
-  let per_rule = List.map (fun (r : Rule.t) -> (r, r.Rule.check ctx)) rules in
-  let per_rule, outcomes = apply_deviations deviations per_rule in
-  let total_violations =
-    Util.Stats.sum_int (List.map (fun (_, vs) -> List.length vs) per_rule)
-  in
-  {
-    per_rule;
-    total_violations;
-    rules_violated = List.length (List.filter (fun (_, vs) -> vs <> []) per_rule);
-    rules_checked = List.length rules;
-    deviations = outcomes;
-  }
+  Telemetry.with_span ~cat:"misra" "misra"
+    ~attrs:[ ("rules", string_of_int (List.length rules)) ]
+    (fun () ->
+      let per_rule =
+        List.map
+          (fun (r : Rule.t) ->
+            let vs =
+              Telemetry.with_span ~cat:"misra" ("misra.rule." ^ r.Rule.id)
+                (fun () -> r.Rule.check ctx)
+            in
+            Telemetry.add ("misra.violations." ^ r.Rule.id) (List.length vs);
+            (r, vs))
+          rules
+      in
+      let per_rule, outcomes = apply_deviations deviations per_rule in
+      let total_violations =
+        Util.Stats.sum_int (List.map (fun (_, vs) -> List.length vs) per_rule)
+      in
+      Telemetry.incr "misra.runs";
+      Telemetry.add "misra.rules_checked" (List.length rules);
+      Telemetry.add "misra.violations" total_violations;
+      {
+        per_rule;
+        total_violations;
+        rules_violated =
+          List.length (List.filter (fun (_, vs) -> vs <> []) per_rule);
+        rules_checked = List.length rules;
+        deviations = outcomes;
+      })
 
 let run_project ?(rules = all_rules) parsed = run ~rules (Rule.build_context parsed)
 

@@ -1,0 +1,321 @@
+(** Process-global instrumentation sink.  See telemetry.mli. *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let wall_clock () = Unix.gettimeofday ()
+
+let clock = ref wall_clock
+
+let now_us () = !clock () *. 1e6
+
+let set_clock c = clock := c
+
+let install_tick_clock ?(step_us = 1.0) () =
+  let t = ref (-.step_us) in
+  clock :=
+    fun () ->
+      t := !t +. step_us;
+      !t /. 1e6
+
+let use_wall_clock () = clock := wall_clock
+
+(* ------------------------------------------------------------------ *)
+(* Sink state                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type attr = string * string
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_us : float;
+  ev_dur_us : float;
+  ev_depth : int;
+  ev_attrs : attr list;
+}
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_us : float;
+  sp_depth : int;
+  mutable sp_attrs : attr list;
+  mutable sp_closed : bool;
+}
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let on = ref false
+let events_rev : event list ref = ref []
+let open_depth = ref 0
+let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+let gauges_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let reset () =
+  locked (fun () ->
+      events_rev := [];
+      open_depth := 0;
+      Hashtbl.reset counters_tbl;
+      Hashtbl.reset gauges_tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let inert_span =
+  { sp_name = ""; sp_cat = ""; sp_start_us = 0.0; sp_depth = 0;
+    sp_attrs = []; sp_closed = true }
+
+let start_span ?(cat = "adcheck") ?(attrs = []) name =
+  if not !on then inert_span
+  else
+    locked (fun () ->
+        let sp =
+          { sp_name = name; sp_cat = cat; sp_start_us = now_us ();
+            sp_depth = !open_depth; sp_attrs = attrs; sp_closed = false }
+        in
+        incr open_depth;
+        sp)
+
+let add_attr sp k v = if not sp.sp_closed then sp.sp_attrs <- sp.sp_attrs @ [ (k, v) ]
+
+let end_span ?(attrs = []) sp =
+  if not sp.sp_closed then
+    locked (fun () ->
+        sp.sp_closed <- true;
+        open_depth := Stdlib.max 0 (!open_depth - 1);
+        let stop = now_us () in
+        events_rev :=
+          { ev_name = sp.sp_name; ev_cat = sp.sp_cat;
+            ev_start_us = sp.sp_start_us;
+            ev_dur_us = Stdlib.max 0.0 (stop -. sp.sp_start_us);
+            ev_depth = sp.sp_depth; ev_attrs = sp.sp_attrs @ attrs }
+          :: !events_rev)
+
+let with_span ?cat ?attrs name f =
+  if not !on then f ()
+  else begin
+    let sp = start_span ?cat ?attrs name in
+    Fun.protect ~finally:(fun () -> end_span sp) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let add name by =
+  if !on && by <> 0 then
+    locked (fun () ->
+        Hashtbl.replace counters_tbl name
+          (by + Option.value ~default:0 (Hashtbl.find_opt counters_tbl name)))
+
+let incr ?(by = 1) name = add name by
+
+let set_gauge name v = if !on then locked (fun () -> Hashtbl.replace gauges_tbl name v)
+
+let max_gauge name v =
+  if !on then
+    locked (fun () ->
+        match Hashtbl.find_opt gauges_tbl name with
+        | Some old when old >= v -> ()
+        | _ -> Hashtbl.replace gauges_tbl name v)
+
+(* ------------------------------------------------------------------ *)
+(* Reading the sink                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let events () =
+  let evs = locked (fun () -> List.rev !events_rev) in
+  List.stable_sort
+    (fun a b ->
+      let c = compare a.ev_start_us b.ev_start_us in
+      if c <> 0 then c else compare a.ev_depth b.ev_depth)
+    evs
+
+let counter name =
+  locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt counters_tbl name))
+
+let counters () =
+  locked (fun () ->
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl []))
+
+let gauges () =
+  locked (fun () ->
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges_tbl []))
+
+let top_counters ~prefix n =
+  let p = String.length prefix in
+  let matching =
+    List.filter_map
+      (fun (k, v) ->
+        if String.length k > p && String.sub k 0 p = prefix then
+          Some (String.sub k p (String.length k - p), v)
+        else None)
+      (counters ())
+  in
+  let sorted =
+    List.stable_sort (fun (_, a) (_, b) -> compare (b : int) a) matching
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let chrome_trace () =
+  let evs = events () in
+  let base =
+    match evs with [] -> 0.0 | e :: _ -> e.ev_start_us
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1"
+           (json_escape e.ev_name) (json_escape e.ev_cat)
+           (json_num (e.ev_start_us -. base))
+           (json_num e.ev_dur_us));
+      if e.ev_attrs <> [] then begin
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          e.ev_attrs;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
+    evs;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    (counters ());
+  Buffer.add_string buf "},\"gauges\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape k) (json_num v)))
+    (gauges ());
+  Buffer.add_string buf "}}}\n";
+  Buffer.contents buf
+
+let write_chrome_trace ~path =
+  let oc = open_out path in
+  output_string oc (chrome_trace ());
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Summary tables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let span_summary () =
+  let tbl : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt tbl e.ev_name with
+      | Some (n, total, mx) ->
+        Stdlib.incr n;
+        total := !total +. e.ev_dur_us;
+        mx := Stdlib.max !mx e.ev_dur_us
+      | None -> Hashtbl.add tbl e.ev_name (ref 1, ref e.ev_dur_us, ref e.ev_dur_us))
+    (events ());
+  let rows =
+    Hashtbl.fold (fun name (n, total, mx) acc -> (name, !n, !total, !mx) :: acc) tbl []
+  in
+  List.stable_sort
+    (fun (n1, _, t1, _) (n2, _, t2, _) ->
+      let c = compare (t2 : float) t1 in
+      if c <> 0 then c else compare n1 n2)
+    rows
+
+let hot_fn_prefix = "interp.fn."
+
+let ms us = Printf.sprintf "%.3f" (us /. 1e3)
+
+let stats_tables () =
+  let spans = span_summary () in
+  let span_tbl =
+    List.fold_left
+      (fun t (name, n, total, mx) ->
+        Util.Table.add_row t
+          [ name; string_of_int n; ms total;
+            ms (total /. float_of_int (Stdlib.max 1 n)); ms mx ])
+      (Util.Table.make ~title:"telemetry: spans"
+         ~header:[ "span"; "count"; "total ms"; "mean ms"; "max ms" ]
+         ~aligns:[ Util.Table.Left; Util.Table.Right; Util.Table.Right;
+                   Util.Table.Right; Util.Table.Right ]
+         ())
+      spans
+  in
+  let plain_counters =
+    List.filter
+      (fun (k, _) ->
+        not (String.length k > String.length hot_fn_prefix
+             && String.sub k 0 (String.length hot_fn_prefix) = hot_fn_prefix))
+      (counters ())
+  in
+  let counter_tbl =
+    List.fold_left
+      (fun t (k, v) -> Util.Table.add_row t [ k; string_of_int v ])
+      (Util.Table.make ~title:"telemetry: counters"
+         ~header:[ "counter"; "value" ]
+         ~aligns:[ Util.Table.Left; Util.Table.Right ] ())
+      plain_counters
+  in
+  let hot = top_counters ~prefix:hot_fn_prefix 15 in
+  let hot_tbl =
+    List.fold_left
+      (fun t (fn, n) -> Util.Table.add_row t [ fn; string_of_int n ])
+      (Util.Table.make ~title:"telemetry: hot functions (statements interpreted)"
+         ~header:[ "function"; "statements" ]
+         ~aligns:[ Util.Table.Left; Util.Table.Right ] ())
+      hot
+  in
+  let gauge_tbl =
+    List.fold_left
+      (fun t (k, v) -> Util.Table.add_row t [ k; json_num v ])
+      (Util.Table.make ~title:"telemetry: gauges" ~header:[ "gauge"; "value" ]
+         ~aligns:[ Util.Table.Left; Util.Table.Right ] ())
+      (gauges ())
+  in
+  List.filter
+    (fun (t : Util.Table.t) -> t.Util.Table.rows <> [])
+    [ span_tbl; counter_tbl; hot_tbl; gauge_tbl ]
+
+let render_stats () =
+  String.concat "\n" (List.map Util.Table.render (stats_tables ()))

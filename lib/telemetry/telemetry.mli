@@ -1,0 +1,120 @@
+(** Dependency-free instrumentation: monotonic-clock spans, counters,
+    gauges, and exporters.
+
+    The library keeps one process-global, mutex-guarded sink.  All
+    recording entry points are no-ops until {!set_enabled}[ true], so
+    instrumented hot paths pay a single boolean test when telemetry is
+    off.  Two exporters read the sink: {!chrome_trace} emits Chrome
+    trace-event JSON (loadable in [chrome://tracing] / Perfetto) and
+    {!render_stats} prints summary tables via {!Util.Table}.
+
+    The clock is pluggable so tests can make every timestamp
+    deterministic ({!install_tick_clock}). *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Current time in microseconds from the active clock. *)
+val now_us : unit -> float
+
+(** Install a clock returning seconds (monotonically non-decreasing). *)
+val set_clock : (unit -> float) -> unit
+
+(** Deterministic test clock: each reading advances by [step_us]
+    (default 1.0) starting from 0. *)
+val install_tick_clock : ?step_us:float -> unit -> unit
+
+(** Restore the default wall clock. *)
+val use_wall_clock : unit -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Sink control                                                        *)
+(* ------------------------------------------------------------------ *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** Drop every recorded event, counter and gauge (leaves the enabled
+    flag and clock untouched). *)
+val reset : unit -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type attr = string * string
+
+(** An open span handle; {!end_span} closes it.  Handles of a disabled
+    sink are inert. *)
+type span
+
+val start_span : ?cat:string -> ?attrs:attr list -> string -> span
+val add_attr : span -> string -> string -> unit
+val end_span : ?attrs:attr list -> span -> unit
+
+(** [with_span name f] runs [f] inside a span; the span is closed even
+    if [f] raises. *)
+val with_span : ?cat:string -> ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+val incr : ?by:int -> string -> unit
+val add : string -> int -> unit
+
+val set_gauge : string -> float -> unit
+
+(** Keep the maximum of all reported values. *)
+val max_gauge : string -> float -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Reading the sink                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_us : float;
+  ev_dur_us : float;
+  ev_depth : int;  (** nesting depth at the time the span opened *)
+  ev_attrs : attr list;
+}
+
+(** Completed spans, sorted by start time then depth (parents first). *)
+val events : unit -> event list
+
+val counter : string -> int
+
+(** All counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+val gauges : unit -> (string * float) list
+
+(** Counters under [prefix], prefix stripped, largest first, top [n]. *)
+val top_counters : prefix:string -> int -> (string * int) list
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Chrome trace-event JSON: complete ("ph":"X") events with timestamps
+    rebased to the earliest span; counters and gauges ride along under
+    "otherData". *)
+val chrome_trace : unit -> string
+
+val write_chrome_trace : path:string -> unit
+
+(** Per-name aggregation: (name, count, total_us, max_us), largest
+    total first. *)
+val span_summary : unit -> (string * int * float * float) list
+
+(** Summary tables: span aggregation, counters, interpreter
+    hot-function profile, gauges — empty tables are omitted. *)
+val stats_tables : unit -> Util.Table.t list
+
+val render_stats : unit -> string
+
+(** JSON string escaping (shared with the bench JSON writer). *)
+val json_escape : string -> string

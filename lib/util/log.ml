@@ -1,0 +1,38 @@
+type level = Error | Warn | Info | Debug
+
+let rank = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let current =
+  ref
+    (match Sys.getenv_opt "ADCHECK_LOG" with
+     | Some s -> Option.value ~default:Warn (level_of_string s)
+     | None -> Warn)
+
+let set_level l = current := l
+let level () = !current
+let logs l = rank l <= rank !current
+
+let log l fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if logs l then Printf.eprintf "adcheck: %s: %s\n%!" (level_name l) msg)
+    fmt
+
+let error fmt = log Error fmt
+let warn fmt = log Warn fmt
+let info fmt = log Info fmt
+let debug fmt = log Debug fmt

@@ -1,0 +1,22 @@
+(** Leveled stderr logging for the CLI and bench harness.
+
+    The level defaults to [Warn] and can be raised either
+    programmatically (the CLI's [--verbose]) or through the
+    [ADCHECK_LOG] environment variable ([error], [warn], [info],
+    [debug]). *)
+
+type level = Error | Warn | Info | Debug
+
+val level_of_string : string -> level option
+val level_name : level -> string
+
+val set_level : level -> unit
+val level : unit -> level
+
+(** [true] when a message at [level] would be printed. *)
+val logs : level -> bool
+
+val error : ('a, unit, string, unit) format4 -> 'a
+val warn : ('a, unit, string, unit) format4 -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
+val debug : ('a, unit, string, unit) format4 -> 'a
