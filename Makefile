@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check check-par bench clean
 
 all: build
 
@@ -8,19 +8,33 @@ build:
 test:
 	dune runtest
 
-# Full gate: build (including the bench executable), unit tests, and an
-# adcheck dataflow smoke run on the small corpus (exercises generator ->
-# parser -> CFG -> fixpoint -> report).
-check: build test
+# Full gate: build (including the bench executable), unit tests, the
+# parallel sweep, and an adcheck dataflow smoke run on the small corpus
+# (exercises generator -> parser -> CFG -> fixpoint -> report).
+check: build test check-par
 	dune build bench/main.exe
 	dune exec bin/adcheck.exe -- dataflow --scale small
 
-# Machine-readable performance record: per-experiment wall time plus the
-# telemetry counter snapshot on the small corpus.
+# Run the whole suite under 1, 2 and 8 worker domains.  ADCHECK_JOBS=1
+# is the sequential oracle; any divergence at 2 or 8 is a determinism
+# bug in the pool fan-out or the counter merge.  --force because dune
+# does not track environment variables as dependencies.
+check-par:
+	for j in 1 2 8; do \
+	  echo "== dune runtest (ADCHECK_JOBS=$$j) =="; \
+	  ADCHECK_JOBS=$$j dune runtest --force || exit 1; \
+	done
+
+# Machine-readable performance records: per-experiment wall time plus
+# telemetry counter snapshots on the small corpus.  BENCH_2.json sweeps
+# the table1 pipeline across worker-domain counts (jobs=1 vs jobs=4);
+# identical counters across the sweep are part of the record.
 bench:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --scale small --out BENCH_1.json \
 	  table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8a fig8b observations
+	dune exec bench/main.exe -- --scale small --jobs 1,4 --out BENCH_2.json \
+	  table1
 
 clean:
 	dune clean

@@ -12,6 +12,9 @@
     Options:
       --scale small|full   corpus scale for the audit (default full)
       --seed N             generator seed (default 2019)
+      --jobs LIST          comma-separated worker-domain counts, e.g. 1,4;
+                           each selected experiment is re-run per value on
+                           a fresh audit (default: ADCHECK_JOBS, else 1)
       --out FILE           write per-experiment wall time + telemetry
                            counter snapshots as JSON (e.g. BENCH_1.json)
 
@@ -23,9 +26,11 @@ let cpu = Gpuperf.Device.xeon_e5
 let bench_seed = ref 2019
 let bench_scale = ref `Full
 
-(* The audited corpus and all derived artifacts, computed once (reads
-   the --scale/--seed refs, which are set before the first force). *)
-let audit =
+(* The audited corpus and all derived artifacts, computed once per jobs
+   setting (reads the --scale/--seed refs, which are set before the
+   first force).  A ref-of-lazy rather than a plain lazy so the --jobs
+   sweep can discard it and re-audit under a different domain count. *)
+let fresh_audit () =
   lazy
     (let ratios =
        List.map (fun (l, r) -> (l, r)) (Gpuperf.Suites.gemm_comparison ~device:gpu)
@@ -38,7 +43,11 @@ let audit =
      in
      Iso26262.Audit.run ~seed:!bench_seed ~specs ~open_vs_closed:ratios ())
 
-let metrics () = (Lazy.force audit).Iso26262.Audit.metrics
+let audit_cell = ref (fresh_audit ())
+let reset_audit () = audit_cell := fresh_audit ()
+let force_audit () = Lazy.force !audit_cell
+
+let metrics () = (force_audit ()).Iso26262.Audit.metrics
 
 let heading title =
   Printf.printf "\n================ %s ================\n\n" title
@@ -52,14 +61,14 @@ let run_table1 () =
   print_string
     (Iso26262.Report.render_findings
        ~title:"ISO 26262-6 Table 1 vs measured verdicts"
-       (Lazy.force audit).Iso26262.Audit.coding)
+       (force_audit ()).Iso26262.Audit.coding)
 
 let run_table2 () =
   heading "Table 2 (paper) - software architectural design";
   print_string
     (Iso26262.Report.render_findings
        ~title:"ISO 26262-6 Table 3 vs measured verdicts"
-       (Lazy.force audit).Iso26262.Audit.architecture);
+       (force_audit ()).Iso26262.Audit.architecture);
   let tbl =
     Util.Table.make ~title:"Component metrics behind the verdicts"
       ~header:[ "component"; "LOC"; "files"; "functions"; "interface"; "fan-in";
@@ -91,7 +100,7 @@ let run_table3 () =
   print_string
     (Iso26262.Report.render_findings
        ~title:"ISO 26262-6 Table 8 vs measured verdicts"
-       (Lazy.force audit).Iso26262.Audit.unit_design)
+       (force_audit ()).Iso26262.Audit.unit_design)
 
 let run_fig3 () =
   heading "Figure 3 - complexity, LOC and functions per Apollo module";
@@ -147,7 +156,7 @@ let run_fig5 () =
   print_string
     (Iso26262.Report.render_coverage
        ~title:"RapiCover-equivalent coverage under the real-scenario tests"
-       (Lazy.force audit).Iso26262.Audit.yolo_coverage);
+       (force_audit ()).Iso26262.Audit.yolo_coverage);
   print_string "paper: averages 83% / 75% / 61%; minima 19% / 37% / 10%\n\n";
   print_string
     (Util.Chart.render_grouped ~value_fmt:(Printf.sprintf "%.0f%%")
@@ -158,13 +167,13 @@ let run_fig5 () =
               [ { Util.Chart.label = "stmt"; value = f.Coverage.Collector.stmt_pct };
                 { Util.Chart.label = "branch"; value = f.Coverage.Collector.branch_pct };
                 { Util.Chart.label = "mcdc"; value = f.Coverage.Collector.mcdc_pct } ] ))
-          (Lazy.force audit).Iso26262.Audit.yolo_coverage))
+          (force_audit ()).Iso26262.Audit.yolo_coverage))
 
 let run_fig6 () =
   heading "Figure 6 - CUDA stencil kernels executed on the CPU (cuda4cpu)";
   print_string
     (Iso26262.Report.render_coverage ~title:"2D and 3D stencil coverage"
-       (Lazy.force audit).Iso26262.Audit.stencil_coverage);
+       (force_audit ()).Iso26262.Audit.stencil_coverage);
   print_string "paper: full statement or branch coverage is not achieved on either kernel\n"
 
 let run_fig7 () =
@@ -240,7 +249,7 @@ let run_fig8b () =
 
 let run_observations () =
   heading "Observations 1-14";
-  let a = Lazy.force audit in
+  let a = force_audit () in
   print_string (Iso26262.Report.render_observations a.Iso26262.Audit.observations);
   print_string (Iso26262.Report.render_compliance (Iso26262.Audit.all_findings a))
 
@@ -257,7 +266,7 @@ let run_fig2 () =
 
 let run_halstead () =
   heading "Extension - Halstead metrics and maintainability index per module";
-  let parsed = (Lazy.force audit).Iso26262.Audit.parsed in
+  let parsed = (force_audit ()).Iso26262.Audit.parsed in
   let tbl =
     Util.Table.make ~title:"Halstead software science + SEI maintainability index"
       ~header:[ "module"; "vocabulary"; "length"; "volume"; "difficulty"; "est. bugs"; "MI" ]
@@ -286,7 +295,7 @@ let run_halstead () =
 
 let run_brook () =
   heading "Extension - Brook Auto portability of the CUDA kernels (cf. paper ref [14])";
-  let parsed = (Lazy.force audit).Iso26262.Audit.parsed in
+  let parsed = (force_audit ()).Iso26262.Audit.parsed in
   let reports = Cudasim.Brook_auto.of_files parsed.Cfront.Project.files in
   let s = Cudasim.Brook_auto.summarize reports in
   Printf.printf
@@ -345,7 +354,7 @@ let run_ablations () =
   Printf.printf "  masking (short-circuit aware, default)  MC/DC avg = %.1f%%\n" (avg `Masking);
   Printf.printf "  strict unique-cause                     MC/DC avg = %.1f%%\n" (avg `Strict);
   (* 3. cyclomatic-complexity counting convention *)
-  let fns = Cfront.Project.all_functions (Lazy.force audit).Iso26262.Audit.parsed in
+  let fns = Cfront.Project.all_functions (force_audit ()).Iso26262.Audit.parsed in
   let over10 ~ssc =
     List.length
       (List.filter
@@ -361,7 +370,7 @@ let run_ablations () =
 
 let run_wcet () =
   heading "Extension - WCET analyzability (the timing-analysis cost of Observation 1)";
-  let parsed = (Lazy.force audit).Iso26262.Audit.parsed in
+  let parsed = (force_audit ()).Iso26262.Audit.parsed in
   let tbl =
     Util.Table.make
       ~title:"static WCET-analyzability per module (standard timing analysis)"
@@ -483,7 +492,7 @@ let run_testgen () =
 
 let run_traceability () =
   heading "Extension - safety-requirement traceability matrix";
-  let a = Lazy.force audit in
+  let a = force_audit () in
   let traces = Iso26262.Traceability.trace (Iso26262.Audit.all_findings a) in
   print_string (Iso26262.Traceability.render traces);
   let missing = Iso26262.Traceability.unallocated_requirements a.Iso26262.Audit.metrics in
@@ -536,7 +545,7 @@ let run_scheduling () =
 
 let run_plan () =
   heading "Extension - effort-classified remediation plan (the paper's conclusion, actionable)";
-  let a = Lazy.force audit in
+  let a = force_audit () in
   print_string (Iso26262.Cert_plan.render (Iso26262.Cert_plan.build (Iso26262.Audit.all_findings a)))
 
 (* ------------------------------------------------------------------ *)
@@ -679,13 +688,6 @@ let experiments =
 
 let valid_names () = String.concat ", " (List.map fst experiments)
 
-let counter_delta before after =
-  List.filter_map
-    (fun (k, v) ->
-      let d = v - Option.value ~default:0 (List.assoc_opt k before) in
-      if d <> 0 then Some (k, d) else None)
-    after
-
 let json_int_obj buf kvs =
   Buffer.add_char buf '{';
   List.iteri
@@ -696,7 +698,7 @@ let json_int_obj buf kvs =
     kvs;
   Buffer.add_char buf '}'
 
-let write_bench_json ~path ~scale ~seed results =
+let write_bench_json ~path ~scale ~seed ~jobs_list results =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"adcheck-bench/1\",\n";
@@ -704,13 +706,20 @@ let write_bench_json ~path ~scale ~seed results =
     (Printf.sprintf "  \"scale\": \"%s\",\n"
        (match scale with `Full -> "full" | `Small -> "small"));
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"jobs\": [%s],\n"
+       (String.concat "," (List.map string_of_int jobs_list)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
   Buffer.add_string buf "  \"experiments\": [";
   List.iteri
-    (fun i (name, wall_ms, counters) ->
+    (fun i (name, jobs, wall_ms, counters) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf "\n    {\"name\": \"%s\", \"wall_ms\": %.3f, \"counters\": "
-           (Telemetry.json_escape name) wall_ms);
+        (Printf.sprintf
+           "\n    {\"name\": \"%s\", \"jobs\": %d, \"wall_ms\": %.3f, \"counters\": "
+           (Telemetry.json_escape name) jobs wall_ms);
       json_int_obj buf counters;
       Buffer.add_char buf '}')
     results;
@@ -731,6 +740,7 @@ let write_bench_json ~path ~scale ~seed results =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let out = ref None in
+  let jobs_list = ref [ Util.Pool.default_jobs () ] in
   let names = ref [] in
   let usage_fail fmt =
     Printf.ksprintf
@@ -755,10 +765,23 @@ let () =
     | "--out" :: v :: rest ->
       out := Some v;
       parse_args rest
-    | [ ("--scale" | "--seed" | "--out") as flag ] ->
+    | "--jobs" :: v :: rest ->
+      (match
+         List.map int_of_string_opt (String.split_on_char ',' v)
+         |> List.fold_left
+              (fun acc j ->
+                match (acc, j) with
+                | Some js, Some j when j >= 1 -> Some (j :: js)
+                | _ -> None)
+              (Some [])
+       with
+       | Some (_ :: _ as js) -> jobs_list := List.rev js
+       | _ -> usage_fail "--jobs expects a comma-separated list of ints >= 1, got %s" v);
+      parse_args rest
+    | [ ("--scale" | "--seed" | "--out" | "--jobs") as flag ] ->
       usage_fail "%s expects an argument" flag
     | opt :: _ when String.length opt >= 2 && String.sub opt 0 2 = "--" ->
-      usage_fail "unknown option %s (valid: --scale, --seed, --out)" opt
+      usage_fail "unknown option %s (valid: --scale, --seed, --jobs, --out)" opt
     | name :: rest ->
       names := name :: !names;
       parse_args rest
@@ -773,20 +796,31 @@ let () =
        (if List.length unknown > 1 then "s" else "")
        (String.concat ", " unknown) (valid_names ()));
   if !out <> None then Telemetry.set_enabled true;
+  (* One pass per --jobs value, each against a fresh audit so the sweep
+     actually exercises the parallel stages rather than reusing the
+     first pass's cached artifacts.  Counter deltas come from the
+     snapshot/diff API, so concurrently-running experiments can't bleed
+     into one another's attribution. *)
   let results =
-    List.map
-      (fun name ->
-        let run = List.assoc name experiments in
-        let before = Telemetry.counters () in
-        let t0 = Telemetry.now_us () in
-        Telemetry.with_span ~cat:"bench" ("bench." ^ name) run;
-        let wall_ms = (Telemetry.now_us () -. t0) /. 1e3 in
-        Util.Log.info "%s: %.1f ms" name wall_ms;
-        (name, wall_ms, counter_delta before (Telemetry.counters ())))
-      selected
+    List.concat_map
+      (fun jobs ->
+        Util.Pool.set_default_jobs jobs;
+        reset_audit ();
+        List.map
+          (fun name ->
+            let run = List.assoc name experiments in
+            let before = Telemetry.snapshot_counters () in
+            let t0 = Telemetry.now_us () in
+            Telemetry.with_span ~cat:"bench" ("bench." ^ name) run;
+            let wall_ms = (Telemetry.now_us () -. t0) /. 1e3 in
+            Util.Log.info "%s (jobs=%d): %.1f ms" name jobs wall_ms;
+            (name, jobs, wall_ms, Telemetry.counters_since before))
+          selected)
+      !jobs_list
   in
   match !out with
   | None -> ()
   | Some path ->
-    write_bench_json ~path ~scale:!bench_scale ~seed:!bench_seed results;
+    write_bench_json ~path ~scale:!bench_scale ~seed:!bench_seed
+      ~jobs_list:!jobs_list results;
     Util.Log.info "wrote %s" path

@@ -35,19 +35,31 @@ let verbose_arg =
   let doc = "Log progress to stderr (same as ADCHECK_LOG=info; ADCHECK_LOG=debug goes further)." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
-(** Bundle of the global instrumentation flags, shared by every subcommand. *)
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel analysis stages (per-file parsing, \
+     per-rule MISRA checking, per-function dataflow solving).  $(b,1) runs \
+     the exact sequential code path — the oracle the differential tests \
+     compare against; reports and telemetry counters are identical at every \
+     value.  Overrides the $(b,ADCHECK_JOBS) environment variable."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(** Bundle of the global instrumentation/concurrency flags, shared by
+    every subcommand. *)
 let telemetry_term =
   Term.(
-    const (fun trace stats verbose -> (trace, stats, verbose))
-    $ trace_arg $ stats_arg $ verbose_arg)
+    const (fun trace stats verbose jobs -> (trace, stats, verbose, jobs))
+    $ trace_arg $ stats_arg $ verbose_arg $ jobs_arg)
 
 (** Run [f] under a per-subcommand telemetry span; afterwards write the
     Chrome trace and/or print the stats tables when requested.  The
     exporters run even if [f] raises, so a failed run still leaves a
     trace to look at. *)
-let with_telemetry ~cmd (trace, stats, verbose) f =
+let with_telemetry ~cmd (trace, stats, verbose, jobs) f =
   if verbose && Util.Log.level () = Util.Log.Warn then
     Util.Log.set_level Util.Log.Info;
+  Option.iter Util.Pool.set_default_jobs jobs;
   if trace <> None || stats then Telemetry.set_enabled true;
   let finish () =
     (match trace with

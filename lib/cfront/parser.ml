@@ -16,17 +16,23 @@ exception Parse_error of string * Loc.t
 type state = {
   toks : Token.t array;
   mutable pos : int;
-  mutable next_eid : int;
-  mutable next_sid : int;
+  mutable n_eids : int;
+  mutable n_sids : int;
   mutable type_names : (string, unit) Hashtbl.t;
   mutable diags : string list;
+  mutable pending_tops : Ast.top list;
+      (** extra declarators of the top currently being parsed *)
 }
 
 (* Expression/statement ids are globally unique across every translation
    unit parsed in the process: the coverage collector keys its counters on
-   them, and a multi-file program must not alias ids between files. *)
-let global_eid = ref 0
-let global_sid = ref 0
+   them, and a multi-file program must not alias ids between files.
+   Atomic so translation units may be parsed on concurrent domains
+   (Cfront.Project.parse under --jobs); ids then interleave between
+   files but never alias, and sequential parses allocate the exact ids
+   they always did. *)
+let global_eid = Atomic.make 0
+let global_sid = Atomic.make 0
 
 let builtin_type_names =
   [
@@ -39,8 +45,8 @@ let builtin_type_names =
 let make_state toks =
   let type_names = Hashtbl.create 64 in
   List.iter (fun n -> Hashtbl.replace type_names n ()) builtin_type_names;
-  { toks = Array.of_list toks; pos = 0; next_eid = !global_eid;
-    next_sid = !global_sid; type_names; diags = [] }
+  { toks = Array.of_list toks; pos = 0; n_eids = 0; n_sids = 0; type_names;
+    diags = []; pending_tops = [] }
 
 let cur st = st.toks.(Stdlib.min st.pos (Array.length st.toks - 1))
 let cur_kind st = (cur st).Token.kind
@@ -77,16 +83,12 @@ let expect_ident st =
   | _ -> err st (Printf.sprintf "expected identifier, found %s" (Token.to_string (cur st)))
 
 let fresh_eid st =
-  let id = st.next_eid in
-  st.next_eid <- id + 1;
-  global_eid := st.next_eid;
-  id
+  st.n_eids <- st.n_eids + 1;
+  Atomic.fetch_and_add global_eid 1
 
 let fresh_sid st =
-  let id = st.next_sid in
-  st.next_sid <- id + 1;
-  global_sid := st.next_sid;
-  id
+  st.n_sids <- st.n_sids + 1;
+  Atomic.fetch_and_add global_sid 1
 
 let mk_expr st loc e = { Ast.e; eloc = loc; eid = fresh_eid st }
 let mk_stmt st loc s = { Ast.s; sloc = loc; sid = fresh_sid st }
@@ -777,10 +779,6 @@ let split_qualified name =
      | last :: scope_rev -> (List.rev scope_rev, last)
      | [] -> ([], name))
 
-(* Extra top-level declarations produced while parsing one (multi-declarator
-   globals); drained by the translation-unit loop. *)
-let pending_tops : Ast.top list ref = ref []
-
 let rec parse_record st scope kind =
   (* after 'struct'/'class' keyword *)
   let loc = cur_loc st in
@@ -1064,7 +1062,8 @@ and parse_top st scope =
        | more ->
          (* represent multiple global declarators as a namespace-less group:
             main decl returned, extras appended through the pending queue *)
-         pending_tops := List.map (fun d -> Ast.Tglobal (mk d)) more @ !pending_tops;
+         st.pending_tops <-
+           List.map (fun d -> Ast.Tglobal (mk d)) more @ st.pending_tops;
          Ast.Tglobal (mk decl))
     end
 
@@ -1110,13 +1109,13 @@ let parse_file ?(extra_types = []) ~file source =
   in
   let tokens = Preproc.expand_macros ~defines lexed.Lexer.tokens in
   let st = make_state tokens in
-  let eid0 = st.next_eid and sid0 = st.next_sid in
+
   List.iter (register_type st) extra_types;
   let tops = ref [] in
   while (cur st).Token.kind <> Token.Eof do
-    pending_tops := [];
+    st.pending_tops <- [];
     let top = parse_top_tolerant st [] in
-    tops := List.rev_append !pending_tops (top :: !tops)
+    tops := List.rev_append st.pending_tops (top :: !tops)
   done;
   {
     Ast.tu_file = file;
@@ -1126,8 +1125,8 @@ let parse_file ?(extra_types = []) ~file source =
     comment_lines = lexed.Lexer.comment_lines;
     directives = pre.Preproc.directives;
     diags = List.rev st.diags @ lexed.Lexer.diagnostics @ pre.Preproc.diagnostics;
-    n_exprs = st.next_eid - eid0;
-    n_stmts = st.next_sid - sid0;
+    n_exprs = st.n_eids;
+    n_stmts = st.n_sids;
   }
 
 (** Parse an expression in isolation (used by tests). *)

@@ -32,34 +32,39 @@ let file_count t = List.length (all_files t)
 (* Cheap cross-file type discovery: real projects share struct/typedef
    names through headers; an in-memory project shares them through this
    pre-scan, so [struct X] defined in one file parses as a type in all. *)
-let scan_type_names (files : source_file list) =
+let type_names_of_file (f : source_file) =
   let names = ref [] in
-  List.iter
-    (fun f ->
-      let toks = (Lexer.tokenize ~file:f.path f.content).Lexer.tokens in
-      let rec go = function
-        | { Token.kind = Token.Keyword ("struct" | "class" | "enum"); _ }
-          :: ({ Token.kind = Token.Ident name; _ } :: _ as rest) ->
-          names := name :: !names;
-          go rest
-        | { Token.kind = Token.Keyword "typedef"; _ } :: rest ->
-          (* the identifier just before the terminating ';' *)
-          let rec find_name last = function
-            | { Token.kind = Token.Punct ";"; _ } :: rest' ->
-              (match last with Some n -> names := n :: !names | None -> ());
-              go rest'
-            | { Token.kind = Token.Ident n; _ } :: rest' -> find_name (Some n) rest'
-            | _ :: rest' -> find_name last rest'
-            | [] -> ()
-          in
-          find_name None rest
-        | _ :: rest -> go rest
+  let toks = (Lexer.tokenize ~file:f.path f.content).Lexer.tokens in
+  let rec go = function
+    | { Token.kind = Token.Keyword ("struct" | "class" | "enum"); _ }
+      :: ({ Token.kind = Token.Ident name; _ } :: _ as rest) ->
+      names := name :: !names;
+      go rest
+    | { Token.kind = Token.Keyword "typedef"; _ } :: rest ->
+      (* the identifier just before the terminating ';' *)
+      let rec find_name last = function
+        | { Token.kind = Token.Punct ";"; _ } :: rest' ->
+          (match last with Some n -> names := n :: !names | None -> ());
+          go rest'
+        | { Token.kind = Token.Ident n; _ } :: rest' -> find_name (Some n) rest'
+        | _ :: rest' -> find_name last rest'
         | [] -> ()
       in
-      go toks)
-    files;
-  List.sort_uniq compare !names
+      find_name None rest
+    | _ :: rest -> go rest
+    | [] -> ()
+  in
+  go toks;
+  List.rev !names
 
+let scan_type_names (files : source_file list) =
+  List.sort_uniq compare
+    (List.concat (Telemetry.parallel_map type_names_of_file files))
+
+(* Both the pre-scan and the per-file parse fan out over
+   [Telemetry.parallel_map]: files are independent once the shared type
+   names are known, results come back in file order, and at --jobs 1 the
+   map *is* List.map, so sequential runs take the exact historical path. *)
 let parse t =
   let sp = Telemetry.start_span ~cat:"cfront" "parse" in
   let t0 = Telemetry.now_us () in
@@ -68,13 +73,10 @@ let parse t =
         scan_type_names (all_files t))
   in
   let files =
-    List.concat_map
-      (fun m ->
-        List.map
-          (fun f ->
-            { file = f; tu = Parser.parse_file ~extra_types ~file:f.path f.content })
-          m.m_files)
-      t.p_modules
+    Telemetry.parallel_map
+      (fun f ->
+        { file = f; tu = Parser.parse_file ~extra_types ~file:f.path f.content })
+      (all_files t)
   in
   let n_files = List.length files in
   let ast_nodes =

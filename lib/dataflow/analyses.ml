@@ -534,7 +534,12 @@ let summarize_functions fns =
   Telemetry.with_span ~cat:"dataflow" "dataflow"
     ~attrs:[ ("functions", string_of_int (List.length fns)) ]
     (fun () ->
-      let summaries = List.filter_map summarize_func fns in
+      (* Each function's CFG + four fixpoint solves is independent;
+         fan out across the domain pool in input order (exact List.map
+         at --jobs 1). *)
+      let summaries =
+        List.filter_map Fun.id (Telemetry.parallel_map summarize_func fns)
+      in
       Telemetry.add "dataflow.functions" (List.length summaries);
       summaries)
 

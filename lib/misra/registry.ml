@@ -68,8 +68,13 @@ let run ?(rules = all_rules) ?(deviations = []) ctx =
   Telemetry.with_span ~cat:"misra" "misra"
     ~attrs:[ ("rules", string_of_int (List.length rules)) ]
     (fun () ->
+      (* One task per rule (costs vary by orders of magnitude, so no
+         chunking); the context is shared read-only across domains and
+         results come back in registration order, making the report
+         identical at every --jobs value.  At --jobs 1 this is List.map,
+         per-rule spans included. *)
       let per_rule =
-        List.map
+        Telemetry.parallel_map ~chunk_size:1
           (fun (r : Rule.t) ->
             let vs =
               Telemetry.with_span ~cat:"misra" ("misra.rule." ^ r.Rule.id)

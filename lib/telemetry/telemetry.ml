@@ -57,6 +57,15 @@ let open_depth = ref 0
 let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
 let gauges_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
 
+(* Per-domain counter buffer.  When a buffer is installed (pool workers
+   running under [collect_counters]) counter adds go to the buffer
+   without touching the global mutex, and span creation is suppressed —
+   the caller merges buffers deterministically in submission order.
+   Buffers nest: an inner [collect_counters] shadows the outer one and
+   [absorb_counters] feeds the outer buffer. *)
+let local_counters : (string, int) Hashtbl.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 let set_enabled b = on := b
 let enabled () = !on
 
@@ -76,7 +85,7 @@ let inert_span =
     sp_attrs = []; sp_closed = true }
 
 let start_span ?(cat = "adcheck") ?(attrs = []) name =
-  if not !on then inert_span
+  if (not !on) || Domain.DLS.get local_counters <> None then inert_span
   else
     locked (fun () ->
         let sp =
@@ -112,11 +121,15 @@ let with_span ?cat ?attrs name f =
 (* Counters and gauges                                                 *)
 (* ------------------------------------------------------------------ *)
 
+let bump tbl name by =
+  Hashtbl.replace tbl name
+    (by + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+
 let add name by =
   if !on && by <> 0 then
-    locked (fun () ->
-        Hashtbl.replace counters_tbl name
-          (by + Option.value ~default:0 (Hashtbl.find_opt counters_tbl name)))
+    match Domain.DLS.get local_counters with
+    | Some tbl -> bump tbl name by
+    | None -> locked (fun () -> bump counters_tbl name by)
 
 let incr ?(by = 1) name = add name by
 
@@ -128,6 +141,40 @@ let max_gauge name v =
         match Hashtbl.find_opt gauges_tbl name with
         | Some old when old >= v -> ()
         | _ -> Hashtbl.replace gauges_tbl name v)
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain aggregation and the parallel map veneer                  *)
+(* ------------------------------------------------------------------ *)
+
+let collect_counters f =
+  let prev = Domain.DLS.get local_counters in
+  let tbl = Hashtbl.create 32 in
+  Domain.DLS.set local_counters (Some tbl);
+  let finish () = Domain.DLS.set local_counters prev in
+  match f () with
+  | v ->
+    finish ();
+    (v, List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []))
+  | exception e ->
+    finish ();
+    raise e
+
+let absorb_counters kvs = List.iter (fun (k, n) -> add k n) kvs
+
+let parallel_map ?chunk_size f xs =
+  match Util.Pool.global () with
+  | None -> List.map f xs
+  | Some pool ->
+    let tagged =
+      Util.Pool.map_chunked ?chunk_size pool
+        (fun x -> collect_counters (fun () -> f x))
+        xs
+    in
+    List.map
+      (fun (y, kvs) ->
+        absorb_counters kvs;
+        y)
+      tagged
 
 (* ------------------------------------------------------------------ *)
 (* Reading the sink                                                    *)
@@ -147,6 +194,17 @@ let counter name =
 let counters () =
   locked (fun () ->
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl []))
+
+type counter_snapshot = (string * int) list
+
+let snapshot_counters () = counters ()
+
+let counters_since snap =
+  List.filter_map
+    (fun (k, v) ->
+      let d = v - Option.value ~default:0 (List.assoc_opt k snap) in
+      if d <> 0 then Some (k, d) else None)
+    (counters ())
 
 let gauges () =
   locked (fun () ->

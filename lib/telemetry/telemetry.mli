@@ -70,6 +70,31 @@ val set_gauge : string -> float -> unit
 val max_gauge : string -> float -> unit
 
 (* ------------------------------------------------------------------ *)
+(* Per-domain aggregation and parallel mapping                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [collect_counters f] runs [f] with counter increments redirected to
+    a fresh per-domain buffer (no global-sink mutex traffic) and returns
+    the buffered counters, sorted by name, alongside [f]'s result.
+    While the buffer is active span creation is suppressed — worker
+    domains contribute counters only, keeping the event list a
+    single-domain record.  Nests: an inner collection shadows the outer
+    one, and {!absorb_counters} feeds whichever sink is active. *)
+val collect_counters : (unit -> 'a) -> 'a * (string * int) list
+
+(** Add a collected counter batch into the active sink (the global one,
+    or the enclosing collection buffer). *)
+val absorb_counters : (string * int) list -> unit
+
+(** Order-preserving parallel map over {!Util.Pool.global}.  Each
+    element's counter increments are buffered on its worker domain via
+    {!collect_counters} and merged on the calling domain in input order,
+    so the final counter values are identical to a sequential run.  When
+    the pool default is 1 job this *is* [List.map f xs] — the exact
+    sequential oracle the differential tests compare against. *)
+val parallel_map : ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(* ------------------------------------------------------------------ *)
 (* Reading the sink                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -89,6 +114,17 @@ val counter : string -> int
 
 (** All counters, sorted by name. *)
 val counters : unit -> (string * int) list
+
+(** Snapshot/diff for attributing counters to a region of the run (the
+    bench harness snapshots around each experiment so one experiment's
+    JSON record never absorbs counters contributed by another). *)
+type counter_snapshot
+
+val snapshot_counters : unit -> counter_snapshot
+
+(** Counters that changed since the snapshot, with their deltas,
+    sorted by name. *)
+val counters_since : counter_snapshot -> (string * int) list
 
 val gauges : unit -> (string * float) list
 

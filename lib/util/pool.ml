@@ -1,0 +1,203 @@
+(** Fixed-size domain pool.  See pool.mli. *)
+
+(* ------------------------------------------------------------------ *)
+(* Pool state                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  n_jobs : int;
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  wake : Condition.t;  (** queue became non-empty or the pool closed *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.n_jobs
+
+(* Marks the current domain as a pool worker; submit consults it for the
+   nested-submit deadlock guard. *)
+let worker_flag = Domain.DLS.new_key (fun () -> false)
+
+let inside_worker () = Domain.DLS.get worker_flag
+
+let worker_loop pool () =
+  Domain.DLS.set worker_flag true;
+  let rec next () =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.wake pool.m
+    done;
+    match Queue.take_opt pool.queue with
+    | None ->
+      (* closed and drained *)
+      Mutex.unlock pool.m
+    | Some job ->
+      Mutex.unlock pool.m;
+      job ();
+      next ()
+  in
+  next ()
+
+let clamp_jobs j = Stdlib.max 1 (Stdlib.min 128 j)
+
+let create ~jobs =
+  let n_jobs = clamp_jobs jobs in
+  let pool =
+    { n_jobs; queue = Queue.create (); m = Mutex.create ();
+      wake = Condition.create (); closed = false; workers = [] }
+  in
+  pool.workers <- List.init n_jobs (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let shutdown pool =
+  let workers =
+    Mutex.lock pool.m;
+    if pool.closed then begin
+      Mutex.unlock pool.m;
+      []
+    end
+    else begin
+      pool.closed <- true;
+      Condition.broadcast pool.wake;
+      let ws = pool.workers in
+      pool.workers <- [];
+      Mutex.unlock pool.m;
+      ws
+    end
+  in
+  List.iter Domain.join workers
+
+(* ------------------------------------------------------------------ *)
+(* Futures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a outcome =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable outcome : 'a outcome;
+}
+
+let run_into fut f =
+  let outcome =
+    match f () with
+    | v -> Done v
+    | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock fut.fm;
+  fut.outcome <- outcome;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let submit pool f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); outcome = Pending } in
+  if inside_worker () then run_into fut f
+  else begin
+    Mutex.lock pool.m;
+    if pool.closed then begin
+      Mutex.unlock pool.m;
+      invalid_arg "Util.Pool.submit: pool is shut down"
+    end;
+    Queue.add (fun () -> run_into fut f) pool.queue;
+    Condition.signal pool.wake;
+    Mutex.unlock pool.m
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.outcome with
+    | Pending ->
+      Condition.wait fut.fc fut.fm;
+      wait ()
+    | Done v ->
+      Mutex.unlock fut.fm;
+      v
+    | Failed (e, bt) ->
+      Mutex.unlock fut.fm;
+      Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
+(* Order-preserving chunked map                                        *)
+(* ------------------------------------------------------------------ *)
+
+let chunks_of size xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n + 1 >= size then go (List.rev (x :: cur) :: acc) [] 0 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+let map_chunked ?chunk_size pool f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let n = List.length xs in
+    let size =
+      match chunk_size with
+      | Some c -> Stdlib.max 1 c
+      | None -> Stdlib.max 1 ((n + (4 * pool.n_jobs) - 1) / (4 * pool.n_jobs))
+    in
+    let futures =
+      List.map (fun chunk -> submit pool (fun () -> List.map f chunk))
+        (chunks_of size xs)
+    in
+    List.concat_map await futures
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide default pool                                           *)
+(* ------------------------------------------------------------------ *)
+
+let env_default () =
+  match Sys.getenv_opt "ADCHECK_JOBS" with
+  | Some s -> (match int_of_string_opt (String.trim s) with
+               | Some j when j >= 1 -> clamp_jobs j
+               | _ -> 1)
+  | None -> 1
+
+let default = ref None  (* None until first read; then Some jobs *)
+let global_pool = ref None
+
+let default_jobs () =
+  match !default with
+  | Some j -> j
+  | None ->
+    let j = env_default () in
+    default := Some j;
+    j
+
+let drop_global () =
+  match !global_pool with
+  | None -> ()
+  | Some pool ->
+    global_pool := None;
+    shutdown pool
+
+let set_default_jobs j =
+  let j = clamp_jobs j in
+  if !default <> Some j then begin
+    default := Some j;
+    drop_global ()
+  end
+
+let () = at_exit drop_global
+
+let global () =
+  if default_jobs () <= 1 then None
+  else
+    match !global_pool with
+    | Some pool -> Some pool
+    | None ->
+      let pool = create ~jobs:(default_jobs ()) in
+      global_pool := Some pool;
+      Some pool

@@ -317,6 +317,74 @@ let test_crossval_91_vs_summaries () =
   Alcotest.(check int) "rule 9.1 agrees with the per-function summaries"
     (totals ()).Analyses.t_uninit_reads (rule_count "9.1")
 
+(* ------------------------------------------------------------------ *)
+(* Golden CFGs for real corpus functions                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The synthetic shapes above pin one construct each; these two pin
+   whole functions from the hand-written YOLO sources, where the
+   constructs compose.  Counts include the entry/exit blocks and the
+   dead blocks after unconditional jumps (see the note on [cfg_cases]). *)
+let yolo_fn name =
+  let tus = Corpus.Yolo_src.parse_all () in
+  match
+    List.concat_map
+      (fun tu ->
+        List.filter
+          (fun (f : Cfront.Ast.func) ->
+            f.Cfront.Ast.f_body <> None && f.Cfront.Ast.f_name = name)
+          (Cfront.Ast.functions_of_tu tu))
+      tus
+  with
+  | [ fn ] -> fn
+  | l -> Alcotest.failf "expected exactly one %s, found %d" name (List.length l)
+
+(* box_intersection (box.c): two early-exit paths — the short-circuit
+   [w < 0.0 || h < 0.0] guard returning 0.0, then the main return. *)
+let test_golden_cfg_box_intersection () =
+  let cfg = Cfg.of_func (yolo_fn "box_intersection") in
+  Alcotest.(check int) "blocks" 9 (Cfg.n_blocks cfg);
+  Alcotest.(check int) "edges" 8 (Cfg.n_edges cfg);
+  (* the || guard decomposes into two atomic conditions *)
+  let conds =
+    Array.fold_left
+      (fun n (b : Cfg.block) ->
+        n
+        + List.length
+            (List.filter
+               (fun (i : Cfg.instr) ->
+                 match i.Cfg.i with Cfg.Icond _ -> true | _ -> false)
+               b.Cfg.instrs))
+      0 cfg.Cfg.blocks
+  in
+  Alcotest.(check int) "atomic conditions" 2 conds;
+  (* both returns reach the exit block, plus the empty trailing block
+     after the final return (same convention as "unreachable after
+     return" above) *)
+  Alcotest.(check int) "exit predecessors" 3
+    (List.length cfg.Cfg.blocks.(cfg.Cfg.exit_).Cfg.preds);
+  Alcotest.(check int) "no unreachable region" 0
+    (List.length (Analyses.unreachable_regions cfg))
+
+(* parse_option_value (parser_cfg.c): a 12-case switch plus default,
+   every clause a return — 13 paths into the exit block. *)
+let test_golden_cfg_parse_option_value () =
+  let cfg = Cfg.of_func (yolo_fn "parse_option_value") in
+  Alcotest.(check int) "blocks" 30 (Cfg.n_blocks cfg);
+  Alcotest.(check int) "edges" 41 (Cfg.n_edges cfg);
+  let clause_edges =
+    List.filter
+      (fun (_, k) -> match k with Cfg.Ecase | Cfg.Edefault -> true | _ -> false)
+      cfg.Cfg.blocks.(cfg.Cfg.entry).Cfg.succs
+  in
+  Alcotest.(check int) "12 cases + default dispatch from the scrutinee" 13
+    (List.length clause_edges);
+  (* 13 returning clauses plus the empty block after the switch *)
+  Alcotest.(check int) "every clause returns into the exit" 14
+    (List.length cfg.Cfg.blocks.(cfg.Cfg.exit_).Cfg.preds);
+  Alcotest.(check int) "no unreachable region" 0
+    (List.length (Analyses.unreachable_regions cfg))
+
 let test_dead_quota_bounded () =
   let quota =
     Util.Stats.sum_int
@@ -382,5 +450,9 @@ let () =
             test_crossval_91_vs_summaries;
           Alcotest.test_case "dead-code quota bounded" `Quick
             test_dead_quota_bounded;
+          Alcotest.test_case "CFG golden: box_intersection" `Quick
+            test_golden_cfg_box_intersection;
+          Alcotest.test_case "CFG golden: parse_option_value" `Quick
+            test_golden_cfg_parse_option_value;
         ] );
     ]

@@ -1,0 +1,137 @@
+(* Differential sequential-vs-parallel harness.
+
+   The concurrency policy says parallelism is configuration, never
+   semantics: --jobs 1 is the oracle (the exact historical sequential
+   code path) and every other worker count must reproduce its output
+   bit for bit.  This test runs the table1 analysis pipeline — corpus
+   generation -> parse -> MISRA -> dataflow — once per jobs value and
+   compares:
+
+   - the full MISRA violation list (rule, file, line, column, message),
+   - the per-function dataflow summaries and their totals,
+   - the merged telemetry counter list (parse, misra and dataflow keys),
+
+   all of which must be *identical*, not merely equivalent. *)
+
+type run_result = {
+  violations : (string * string * int * int * string) list;
+  df_summaries : (string * int * int * int * int * int * int) list;
+  counters : (string * int) list;
+}
+
+(* The whole pipeline under [jobs] worker domains, telemetry on, with a
+   fresh sink so counter attribution can't leak between runs. *)
+let run_pipeline ~jobs =
+  Util.Pool.set_default_jobs jobs;
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.reset ();
+      Telemetry.set_enabled false)
+  @@ fun () ->
+  let project =
+    Corpus.Generator.generate ~seed:2019 Corpus.Apollo_profile.small
+  in
+  let parsed = Cfront.Project.parse project in
+  let report = Misra.Registry.run_project parsed in
+  let summaries =
+    Dataflow.Analyses.summarize_functions (Cfront.Project.all_functions parsed)
+  in
+  {
+    violations =
+      List.concat_map
+        (fun ((r : Misra.Rule.t), vs) ->
+          List.map
+            (fun (v : Misra.Rule.violation) ->
+              ( r.Misra.Rule.id, v.Misra.Rule.loc.Cfront.Loc.file,
+                v.Misra.Rule.loc.Cfront.Loc.line, v.Misra.Rule.loc.Cfront.Loc.col,
+                v.Misra.Rule.message ))
+            vs)
+        report.Misra.Registry.per_rule;
+    df_summaries =
+      List.map
+        (fun (s : Dataflow.Analyses.func_summary) ->
+          ( s.Dataflow.Analyses.s_function, s.Dataflow.Analyses.s_blocks,
+            s.Dataflow.Analyses.s_edges, s.Dataflow.Analyses.s_unreachable,
+            s.Dataflow.Analyses.s_dead_stores, s.Dataflow.Analyses.s_uninit_reads,
+            s.Dataflow.Analyses.s_const_conditions ))
+        summaries;
+    counters = Telemetry.counters ();
+  }
+
+let violation_t = Alcotest.(list (pair string (pair string (pair int (pair int string)))))
+
+let nest (r, f, l, c, m) = (r, (f, (l, (c, m))))
+
+let restore_jobs = Util.Pool.default_jobs ()
+
+let check_jobs_equal ~oracle ~jobs =
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs restore_jobs)
+  @@ fun () ->
+  let par = run_pipeline ~jobs in
+  Alcotest.(check violation_t)
+    (Printf.sprintf "violations identical at jobs=%d" jobs)
+    (List.map nest oracle.violations)
+    (List.map nest par.violations);
+  Alcotest.(check (list (pair string (pair int (pair int (pair int (pair int (pair int int))))))))
+    (Printf.sprintf "dataflow summaries identical at jobs=%d" jobs)
+    (List.map (fun (n, a, b, c, d, e, f) -> (n, (a, (b, (c, (d, (e, f)))))) ) oracle.df_summaries)
+    (List.map (fun (n, a, b, c, d, e, f) -> (n, (a, (b, (c, (d, (e, f)))))) ) par.df_summaries)
+
+let check_counters_equal ~oracle ~jobs =
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs restore_jobs)
+  @@ fun () ->
+  let par = run_pipeline ~jobs in
+  Alcotest.(check (list (pair string int)))
+    (Printf.sprintf "merged counters identical at jobs=%d" jobs)
+    oracle.counters par.counters;
+  (* the counters we specifically rely on downstream *)
+  List.iter
+    (fun key ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s identical at jobs=%d" key jobs)
+        (List.assoc key oracle.counters)
+        (List.assoc key par.counters))
+    [ "parse.files"; "parse.ast_nodes"; "misra.violations"; "dataflow.solves";
+      "dataflow.transfers"; "dataflow.functions" ]
+
+(* One oracle run shared by the cases (recomputed lazily so alcotest's
+   listing mode stays cheap). *)
+let oracle = lazy (run_pipeline ~jobs:1)
+
+let test_reports_jobs4 () =
+  check_jobs_equal ~oracle:(Lazy.force oracle) ~jobs:4
+
+let test_counters_jobs4 () =
+  check_counters_equal ~oracle:(Lazy.force oracle) ~jobs:4
+
+let test_counters_jobs2 () =
+  check_counters_equal ~oracle:(Lazy.force oracle) ~jobs:2
+
+(* The oracle is itself reproducible: two sequential runs agree, which
+   pins down that any jobs>1 mismatch really is a parallelism bug. *)
+let test_oracle_stable () =
+  let a = Lazy.force oracle in
+  let b = run_pipeline ~jobs:1 in
+  Util.Pool.set_default_jobs restore_jobs;
+  Alcotest.(check violation_t) "sequential runs agree"
+    (List.map nest a.violations) (List.map nest b.violations);
+  Alcotest.(check (list (pair string int))) "sequential counters agree"
+    a.counters b.counters;
+  Alcotest.(check bool) "violations nonempty" true (a.violations <> [])
+
+let () =
+  Alcotest.run "parallel-determinism"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "oracle is stable" `Slow test_oracle_stable;
+          Alcotest.test_case "violation+dataflow reports at jobs=4" `Slow
+            test_reports_jobs4;
+          Alcotest.test_case "merged counters at jobs=4" `Slow
+            test_counters_jobs4;
+          Alcotest.test_case "merged counters at jobs=2" `Slow
+            test_counters_jobs2;
+        ] );
+    ]

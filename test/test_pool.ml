@@ -1,0 +1,248 @@
+(* Tests for the domain pool: order preservation under map_chunked,
+   exception propagation out of workers, the nested-submit deadlock
+   guard, jobs=1 equivalence with the sequential code path, and a
+   stress run of many tiny tasks across several domains. *)
+
+let with_pool ~jobs f =
+  let pool = Util.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Util.Pool.shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Order preservation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_preserves_order () =
+  let xs = List.init 257 (fun i -> i) in
+  let f x = (x * 7919) mod 65536 in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          List.iter
+            (fun chunk_size ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "jobs=%d chunk=%d" jobs chunk_size)
+                expected
+                (Util.Pool.map_chunked ~chunk_size pool f xs))
+            [ 1; 2; 17; 1000 ];
+          (* default chunking too *)
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d default chunking" jobs)
+            expected
+            (Util.Pool.map_chunked pool f xs)))
+    [ 1; 2; 4 ]
+
+let test_map_empty_and_singleton () =
+  with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" []
+        (Util.Pool.map_chunked pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 42 ]
+        (Util.Pool.map_chunked pool (fun x -> x + 1) [ 41 ]))
+
+(* Out-of-order completion: earlier chunks finish *after* later ones
+   (front-loaded busy work) and results still come back in input order. *)
+let test_map_order_with_skewed_work () =
+  let busy n =
+    let acc = ref 0 in
+    for i = 1 to n * 20_000 do
+      acc := (!acc + i) mod 9973
+    done;
+    !acc
+  in
+  let xs = [ 8; 6; 4; 2; 0 ] in
+  with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int))
+        "slowest-first input keeps input order"
+        (List.map busy xs)
+        (Util.Pool.map_chunked ~chunk_size:1 pool busy xs))
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  with_pool ~jobs:2 (fun pool ->
+      let fut = Util.Pool.submit pool (fun () -> raise (Boom 7)) in
+      Alcotest.check_raises "submit/await re-raises" (Boom 7) (fun () ->
+          ignore (Util.Pool.await fut));
+      (* the pool survives a failed task *)
+      let fut2 = Util.Pool.submit pool (fun () -> 5) in
+      Alcotest.(check int) "pool alive after failure" 5 (Util.Pool.await fut2))
+
+let test_map_chunked_raises_first_failure () =
+  with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "map_chunked re-raises" (Boom 3) (fun () ->
+          ignore
+            (Util.Pool.map_chunked ~chunk_size:1 pool
+               (fun x -> if x = 3 then raise (Boom 3) else x)
+               [ 0; 1; 2; 3; 4 ])))
+
+(* ------------------------------------------------------------------ *)
+(* Nested submit (deadlock guard)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every task itself submits to the same pool and awaits the result.
+   Without the run-inline guard a pool with [jobs] workers would
+   deadlock as soon as [jobs] outer tasks block on inner futures that
+   can never be scheduled.  More outer tasks than workers makes the
+   hang deterministic rather than timing-dependent. *)
+let test_nested_submit_does_not_deadlock () =
+  with_pool ~jobs:2 (fun pool ->
+      let outer =
+        Util.Pool.map_chunked ~chunk_size:1 pool
+          (fun x ->
+            Alcotest.(check bool) "task runs on a worker" true
+              (Util.Pool.inside_worker ());
+            let inner = Util.Pool.submit pool (fun () -> x * 2) in
+            Util.Pool.await inner + 1)
+          (List.init 8 (fun i -> i))
+      in
+      Alcotest.(check (list int)) "nested results"
+        (List.init 8 (fun i -> (i * 2) + 1))
+        outer);
+  Alcotest.(check bool) "caller is not a worker" false
+    (Util.Pool.inside_worker ())
+
+(* ------------------------------------------------------------------ *)
+(* jobs=1: the sequential oracle                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_jobs1_matches_list_map () =
+  let xs = List.init 100 (fun i -> i - 50) in
+  let f x = (x * x) - x in
+  with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list int)) "map_chunked at jobs=1 = List.map"
+        (List.map f xs)
+        (Util.Pool.map_chunked pool f xs))
+
+(* With the process default at 1 there is no global pool at all, and
+   Telemetry.parallel_map must literally be List.map — counters land in
+   the global sink directly, not through a worker-side buffer. *)
+let test_default_jobs1_means_no_global_pool () =
+  let saved = Util.Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs saved)
+  @@ fun () ->
+  Util.Pool.set_default_jobs 1;
+  Alcotest.(check bool) "no global pool at jobs=1" true
+    (Util.Pool.global () = None);
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.reset ();
+      Telemetry.set_enabled false)
+  @@ fun () ->
+  let ys =
+    Telemetry.parallel_map
+      (fun x ->
+        Telemetry.incr "pooltest.calls";
+        x + 1)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "parallel_map = List.map" [ 2; 3; 4 ] ys;
+  Alcotest.(check int) "counters recorded directly" 3
+    (Telemetry.counter "pooltest.calls")
+
+let test_default_jobs_clamped () =
+  let saved = Util.Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs saved)
+  @@ fun () ->
+  Util.Pool.set_default_jobs 0;
+  Alcotest.(check int) "0 clamps to 1" 1 (Util.Pool.default_jobs ());
+  Util.Pool.set_default_jobs 4;
+  Alcotest.(check int) "4 stays 4" 4 (Util.Pool.default_jobs ());
+  match Util.Pool.global () with
+  | Some pool -> Alcotest.(check int) "global pool sized 4" 4 (Util.Pool.jobs pool)
+  | None -> Alcotest.fail "expected a global pool at jobs=4"
+
+(* ------------------------------------------------------------------ *)
+(* Stress                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stress_many_tiny_tasks () =
+  let n = 10_000 in
+  let xs = List.init n (fun i -> i) in
+  with_pool ~jobs:8 (fun pool ->
+      let ys = Util.Pool.map_chunked ~chunk_size:7 pool (fun x -> x + 1) xs in
+      Alcotest.(check int) "all results present" n (List.length ys);
+      Alcotest.(check (list int)) "all in order" (List.map succ xs) ys;
+      (* interleave raw submits with the map traffic *)
+      let futs = List.init 100 (fun i -> Util.Pool.submit pool (fun () -> i)) in
+      Alcotest.(check (list int)) "submit storm"
+        (List.init 100 Fun.id)
+        (List.map Util.Pool.await futs))
+
+(* Telemetry counter merging under contention: every task bumps the same
+   counter; the merged total must be exact regardless of interleaving. *)
+let test_stress_counter_merge () =
+  let saved = Util.Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs saved)
+  @@ fun () ->
+  Util.Pool.set_default_jobs 8;
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.reset ();
+      Telemetry.set_enabled false)
+  @@ fun () ->
+  let n = 5_000 in
+  let ys =
+    Telemetry.parallel_map
+      (fun x ->
+        Telemetry.incr "pooltest.stress";
+        Telemetry.add "pooltest.sum" x;
+        x)
+      (List.init n (fun i -> i))
+  in
+  Alcotest.(check int) "results complete" n (List.length ys);
+  Alcotest.(check int) "every increment merged" n
+    (Telemetry.counter "pooltest.stress");
+  Alcotest.(check int) "sums merge exactly" (n * (n - 1) / 2)
+    (Telemetry.counter "pooltest.sum")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "order",
+        [
+          Alcotest.test_case "map_chunked preserves order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "empty and singleton inputs" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "order kept under skewed work" `Quick
+            test_map_order_with_skewed_work;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "worker exception re-raised" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "map_chunked re-raises" `Quick
+            test_map_chunked_raises_first_failure;
+        ] );
+      ( "nesting",
+        [
+          Alcotest.test_case "nested submit runs inline" `Quick
+            test_nested_submit_does_not_deadlock;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "jobs=1 equals List.map" `Quick
+            test_jobs1_matches_list_map;
+          Alcotest.test_case "default jobs=1 bypasses the pool" `Quick
+            test_default_jobs1_means_no_global_pool;
+          Alcotest.test_case "default jobs clamping and sizing" `Quick
+            test_default_jobs_clamped;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "10k tiny tasks across 8 domains" `Slow
+            test_stress_many_tiny_tasks;
+          Alcotest.test_case "counter merge is exact" `Slow
+            test_stress_counter_merge;
+        ] );
+    ]

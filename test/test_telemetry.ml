@@ -372,7 +372,14 @@ let row_value (t : Util.Table.t) key =
 let test_stats_golden_small_corpus () =
   Telemetry.reset ();
   Telemetry.set_enabled true;
+  (* This golden pins the *sequential* span structure (per-rule spans are
+     deliberately suppressed on pool workers), so force the oracle path
+     regardless of ADCHECK_JOBS; test_parallel_determinism covers the
+     parallel side. *)
+  let saved_jobs = Util.Pool.default_jobs () in
+  let teardown () = Util.Pool.set_default_jobs saved_jobs; teardown () in
   Fun.protect ~finally:teardown @@ fun () ->
+  Util.Pool.set_default_jobs 1;
   let audit = Iso26262.Audit.run ~specs:Corpus.Apollo_profile.small () in
   ignore audit;
   (* the pipeline phases all appear as spans *)
