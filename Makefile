@@ -17,8 +17,12 @@ check: build test check-par
 
 # Run the whole suite under 1, 2 and 8 worker domains.  ADCHECK_JOBS=1
 # is the sequential oracle; any divergence at 2 or 8 is a determinism
-# bug in the pool fan-out or the counter merge.  --force because dune
-# does not track environment variables as dependencies.
+# bug in the pool fan-out or the counter merge.  The suite includes the
+# coverage differential (test_parallel_determinism): the full scenario
+# set replayed in-process at jobs=1/2/4 with byte-identical merged
+# collector fingerprints, so every ADCHECK_JOBS value below re-checks
+# the scenario-parallel merge as well.  --force because dune does not
+# track environment variables as dependencies.
 check-par:
 	for j in 1 2 8; do \
 	  echo "== dune runtest (ADCHECK_JOBS=$$j) =="; \
@@ -29,12 +33,18 @@ check-par:
 # telemetry counter snapshots on the small corpus.  BENCH_2.json sweeps
 # the table1 pipeline across worker-domain counts (jobs=1 vs jobs=4);
 # identical counters across the sweep are part of the record.
+# BENCH_3.json sweeps the scenario-parallel coverage phase (the full
+# scenario set: real scenarios + fault injection + testgen probes) —
+# the per-experiment counters record the scenario count, and the gauges
+# record the coverage-phase wall time of the last pass.
 bench:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --scale small --out BENCH_1.json \
 	  table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8a fig8b observations
 	dune exec bench/main.exe -- --scale small --jobs 1,4 --out BENCH_2.json \
 	  table1
+	dune exec bench/main.exe -- --scale small --jobs 1,4 --out BENCH_3.json \
+	  scenarios
 
 clean:
 	dune clean

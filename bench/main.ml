@@ -543,6 +543,33 @@ let run_scheduling () =
    | Error e -> Printf.printf "pipeline run failed: %s\n" e)
 
 
+let run_scenarios () =
+  heading "Scenario-parallel coverage - full set (real scenarios + faults + testgen probes)";
+  let set = Corpus.Scenario_set.full () in
+  let n_scenarios = List.length set.Corpus.Scenario_set.scenarios in
+  (* Time just the scenario execution (the coverage phase proper); set
+     construction above includes the baseline run the gap planner needs. *)
+  let t0 = Telemetry.now_us () in
+  let outcomes = Coverage.Scenario.run_all set.Corpus.Scenario_set.scenarios in
+  let coverage_ms = (Telemetry.now_us () -. t0) /. 1e3 in
+  Telemetry.set_gauge "bench.scenarios.count" (float_of_int n_scenarios);
+  Telemetry.set_gauge "bench.scenarios.coverage_phase_ms" coverage_ms;
+  let merged = Coverage.Scenario.merged_collector outcomes in
+  let files =
+    Coverage.Scenario.score merged ~measured:set.Corpus.Scenario_set.measured
+      set.Corpus.Scenario_set.tus
+  in
+  let stmt, branch, mcdc = Coverage.Collector.averages files in
+  Printf.printf
+    "%d scenarios on %d worker domain(s): coverage phase %.1f ms\n\
+     merged coverage (identical at every --jobs value):\n"
+    n_scenarios (Util.Pool.default_jobs ()) coverage_ms;
+  print_string
+    (Iso26262.Report.render_coverage
+       ~title:"merged combined coverage (statement / branch / MC/DC)" files);
+  Printf.printf "averages: statement %.1f%%, branch %.1f%%, MC/DC %.1f%%\n"
+    stmt branch mcdc
+
 let run_plan () =
   heading "Extension - effort-classified remediation plan (the paper's conclusion, actionable)";
   let a = force_audit () in
@@ -678,6 +705,7 @@ let experiments =
     ("testgen", run_testgen);
     ("traceability", run_traceability);
     ("scheduling", run_scheduling);
+    ("scenarios", run_scenarios);
     ("plan", run_plan);
     ("micro", run_micro);
   ]

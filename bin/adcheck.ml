@@ -271,31 +271,63 @@ let dataflow_cmd =
 
 let coverage_cmd =
   let subject_arg =
-    let doc = "Coverage subject: $(b,yolo) (Figure 5) or $(b,stencil) (Figure 6)." in
-    Arg.(value & opt (enum [ ("yolo", `Yolo); ("stencil", `Stencil) ]) `Yolo
+    let doc =
+      "Coverage subject: $(b,yolo) (Figure 5), $(b,stencil) (Figure 6) or \
+       $(b,combined) (the full scenario set — real-scenario tests, fault \
+       injection and testgen probes — run scenario-parallel across the \
+       worker pool and merged; merged figures are identical at every \
+       --jobs value)."
+    in
+    Arg.(value
+         & opt (enum [ ("yolo", `Yolo); ("stencil", `Stencil);
+                       ("combined", `Combined) ])
+             `Yolo
          & info [ "subject" ] ~docv:"SUBJECT" ~doc)
   in
   let run subject tele =
     with_telemetry ~cmd:"coverage" tele @@ fun () ->
-    let tus, measured, entry, title =
-      match subject with
-      | `Yolo ->
-        (Corpus.Yolo_src.parse_all (),
-         List.map fst Corpus.Yolo_src.measured_files,
-         Corpus.Yolo_src.entry,
-         "object detection (YOLO) coverage under real-scenario tests")
-      | `Stencil ->
-        (Corpus.Stencil_src.parse_all (),
-         List.map fst Corpus.Stencil_src.measured_files,
-         Corpus.Stencil_src.entry,
-         "CUDA stencils executed on the CPU (cuda4cpu)")
-    in
-    let result = Cudasim.Runner.run ~entry ~measured tus in
-    (match result.Cudasim.Runner.exit_value with
-     | Ok _ -> ()
-     | Error e -> Util.Log.error "execution failed: %s" e);
-    print_string result.Cudasim.Runner.output;
-    print_string (Iso26262.Report.render_coverage ~title result.Cudasim.Runner.files)
+    match subject with
+    | `Combined ->
+      let set = Corpus.Scenario_set.full () in
+      let outcomes =
+        Coverage.Scenario.run_all set.Corpus.Scenario_set.scenarios
+      in
+      List.iter
+        (fun (name, entry, err) ->
+          Util.Log.info "scenario %s/%s faulted: %s" name entry err)
+        (Coverage.Scenario.failures outcomes);
+      let merged = Coverage.Scenario.merged_collector outcomes in
+      let files =
+        Coverage.Scenario.score merged
+          ~measured:set.Corpus.Scenario_set.measured
+          set.Corpus.Scenario_set.tus
+      in
+      Printf.printf "scenarios run: %d\n" (List.length outcomes);
+      print_string
+        (Iso26262.Report.render_coverage
+           ~title:
+             "combined coverage: real scenarios + fault injection + testgen probes"
+           files)
+    | (`Yolo | `Stencil) as subject ->
+      let tus, measured, entry, title =
+        match subject with
+        | `Yolo ->
+          (Corpus.Yolo_src.parse_all (),
+           List.map fst Corpus.Yolo_src.measured_files,
+           Corpus.Yolo_src.entry,
+           "object detection (YOLO) coverage under real-scenario tests")
+        | `Stencil ->
+          (Corpus.Stencil_src.parse_all (),
+           List.map fst Corpus.Stencil_src.measured_files,
+           Corpus.Stencil_src.entry,
+           "CUDA stencils executed on the CPU (cuda4cpu)")
+      in
+      let result = Cudasim.Runner.run ~entry ~measured tus in
+      (match result.Cudasim.Runner.exit_value with
+       | Ok _ -> ()
+       | Error e -> Util.Log.error "execution failed: %s" e);
+      print_string result.Cudasim.Runner.output;
+      print_string (Iso26262.Report.render_coverage ~title result.Cudasim.Runner.files)
   in
   let doc = "Run the dynamic coverage experiments (statement, branch, MC/DC)." in
   Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ subject_arg $ telemetry_term)

@@ -135,29 +135,44 @@ type outcome = {
   as_expected : bool;
 }
 
-(** Run every scenario against the YOLO sources.  Each scenario gets a
-    fresh interpreter (a fault poisons the store). *)
-let run_all () =
+(** Engine form of the scenario list, over a shared parse of the YOLO
+    sources: each driver is parsed privately, but the measured units are
+    the caller's [yolo_tus], so per-file hit sets collected by different
+    fault scenarios merge on identical statement/decision ids. *)
+let to_scenarios ~yolo_tus =
   List.map
     (fun sc ->
-      let tus =
-        Yolo_src.parse_all ()
-        @ [ Cfront.Parser.parse_file ~extra_types:Yolo_src.extra_types
-              ~file:("fault/" ^ sc.sc_name ^ ".c") sc.sc_driver ]
-      in
-      let env = Coverage.Interp.create () in
-      let faulted, detail =
-        match Coverage.Interp.run env tus ~entry:"scenario" ~args:[] with
-        | Ok v -> (false, "returned " ^ Coverage.Value.to_string v)
-        | Error e -> (true, e)
-      in
-      let as_expected =
-        match sc.sc_expect with
-        | Expect_fault -> faulted
-        | Expect_survive -> not faulted
-      in
-      { scenario = sc; faulted; detail; as_expected })
+      {
+        Coverage.Scenario.sc_name = sc.sc_name;
+        sc_tus =
+          yolo_tus
+          @ [ Cfront.Parser.parse_file ~extra_types:Yolo_src.extra_types
+                ~file:("fault/" ^ sc.sc_name ^ ".c") sc.sc_driver ];
+        sc_entries = [ "scenario" ];
+      })
     scenarios
+
+let outcome_of sc (o : Coverage.Scenario.outcome) =
+  let faulted, detail =
+    match o.Coverage.Scenario.o_results with
+    | [ (_, Ok v) ] -> (false, "returned " ^ Coverage.Value.to_string v)
+    | [ (_, Error e) ] -> (true, e)
+    | _ -> (true, "scenario did not run")
+  in
+  let as_expected =
+    match sc.sc_expect with
+    | Expect_fault -> faulted
+    | Expect_survive -> not faulted
+  in
+  { scenario = sc; faulted; detail; as_expected }
+
+(** Run every scenario against the YOLO sources.  Each scenario gets a
+    fresh interpreter (a fault poisons the store); the scenarios are
+    independent, so they fan out over the worker pool. *)
+let run_all () =
+  let yolo_tus = Yolo_src.parse_all () in
+  List.map2 outcome_of scenarios
+    (Coverage.Scenario.run_all (to_scenarios ~yolo_tus))
 
 let summary outcomes =
   let expected_faults =

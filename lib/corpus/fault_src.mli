@@ -14,6 +14,10 @@ type scenario = {
 
 val scenarios : scenario list
 
+(** Engine form over a shared parse of the YOLO sources, so the hit sets
+    different fault scenarios collect merge on identical ids. *)
+val to_scenarios : yolo_tus:Cfront.Ast.tu list -> Coverage.Scenario.t list
+
 type outcome = {
   scenario : scenario;
   faulted : bool;
@@ -21,7 +25,11 @@ type outcome = {
   as_expected : bool;
 }
 
-(** Run every scenario, each in a fresh interpreter. *)
+(** Reinterpret an engine outcome against the scenario's expectation. *)
+val outcome_of : scenario -> Coverage.Scenario.outcome -> outcome
+
+(** Run every scenario, each in a fresh interpreter, fanned out over the
+    worker pool (sequential at jobs=1). *)
 val run_all : unit -> outcome list
 
 (** [(faults realized, faults expected, as-expected, total)]. *)

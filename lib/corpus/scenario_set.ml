@@ -1,0 +1,63 @@
+(** The full dynamic-scenario set of the coverage experiments.  See
+    scenario_set.mli. *)
+
+type set = {
+  tus : Cfront.Ast.tu list;
+  measured : string list;
+  scenarios : Coverage.Scenario.t list;
+}
+
+(* Probes grouped into fixed-size batches: each batch is one scenario
+   (one env load amortized over several probes), and the batch size is a
+   constant — never derived from the jobs value — so the scenario list
+   is identical at every worker count. *)
+let probe_batch_size = 8
+
+let batches_of size xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n + 1 >= size then go (List.rev (x :: cur) :: acc) [] 0 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+let full () =
+  Telemetry.with_span ~cat:"coverage" "coverage.scenario_set" @@ fun () ->
+  (* ONE parse of the YOLO sources: statement/decision ids are assigned
+     at parse time, so every scenario must share these units for its hit
+     sets to merge onto the same keys. *)
+  let yolo_tus = Yolo_src.parse_all () in
+  let measured = List.map fst Yolo_src.measured_files in
+  let real =
+    {
+      Coverage.Scenario.sc_name = "yolo-real-scenarios";
+      sc_tus = yolo_tus;
+      sc_entries = [ Yolo_src.entry ];
+    }
+  in
+  let faults = Fault_src.to_scenarios ~yolo_tus in
+  (* Gap probes need a baseline run to plan against; the baseline is a
+     prefix of the set construction, not a member of the set — the real-
+     scenario member replays it so the merged coverage still includes
+     it.  Plans depend only on the (deterministic) baseline hit sets. *)
+  let baseline = Coverage.Scenario.run_one real in
+  let plans =
+    Coverage.Testgen.plan_for_gaps baseline.Coverage.Scenario.o_collector
+      yolo_tus ~measured
+  in
+  let driver, entries = Coverage.Testgen.driver_of_plans plans in
+  let gap_tu = Cfront.Parser.parse_file ~file:"testgen/gap_driver.c" driver in
+  let probes =
+    List.mapi
+      (fun i batch ->
+        {
+          Coverage.Scenario.sc_name = Printf.sprintf "testgen-probes-%d" i;
+          sc_tus = yolo_tus @ [ gap_tu ];
+          sc_entries = batch;
+        })
+      (batches_of probe_batch_size entries)
+  in
+  Telemetry.incr ~by:(1 + List.length faults + List.length probes)
+    "coverage.scenario_set.size";
+  { tus = yolo_tus; measured; scenarios = (real :: faults) @ probes }

@@ -1,0 +1,23 @@
+(** The full dynamic-scenario set behind the paper's coverage results:
+    the YOLO real-scenario tests (Figure 5), every fault-injection
+    scenario (Observation 6), and the gap-driven testgen probes
+    (Observation 10), all as independent {!Coverage.Scenario} values
+    over ONE shared parse of the YOLO sources.
+
+    Sharing the parse is what makes the merge exact: statement and
+    decision ids are assigned at parse time, so scenarios built on the
+    same units hit the same keys, and the per-scenario collectors union
+    into the same state the sequential single-collector run would
+    produce.  The differential suite replays this set at jobs 1/2/4 and
+    demands byte-identical merged coverage. *)
+
+type set = {
+  tus : Cfront.Ast.tu list;  (** the shared YOLO parse *)
+  measured : string list;  (** files under measurement (drivers excluded) *)
+  scenarios : Coverage.Scenario.t list;
+}
+
+(** Build the full set.  Deterministic: the scenario list, batching and
+    ordering never depend on the jobs value.  Construction runs the
+    real-scenario baseline once to plan the gap probes. *)
+val full : unit -> set

@@ -39,6 +39,80 @@ let hooks t : Interp.hooks =
 let function_called t name = Hashtbl.mem t.calls name
 
 (* ------------------------------------------------------------------ *)
+(* Merging                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-key sum of hit counts.  Addition is commutative and associative,
+   and every score below is a *membership* test on the key set (a key is
+   present iff its count is > 0, counts never go negative), so merged
+   coverage is exact at any partition of the scenario set — not an
+   approximation.  See DESIGN.md "Scenario-parallel coverage". *)
+let merge_counts dst src =
+  Hashtbl.iter
+    (fun k n -> Hashtbl.replace dst k (n + Option.value ~default:0 (Hashtbl.find_opt dst k)))
+    src
+
+let merge_into ~into src =
+  merge_counts into.stmt_hits src.stmt_hits;
+  merge_counts into.decision_outcomes src.decision_outcomes;
+  merge_counts into.switch_hits src.switch_hits;
+  merge_counts into.calls src.calls;
+  merge_counts into.kernel_launches src.kernel_launches;
+  Mcdc.merge_into ~into:into.mcdc src.mcdc
+
+let merge ts =
+  let acc = create () in
+  List.iter (fun t -> merge_into ~into:acc t) ts;
+  acc
+
+(* Deterministic rendering of the full collector state, canonically
+   ordered: equal fingerprints iff the collectors are observationally
+   identical.  The differential suite compares these across jobs values;
+   the property tests across random partitions and merge orders. *)
+let fingerprint t =
+  let buf = Buffer.create 4096 in
+  let sorted_list fold tbl = List.sort compare (fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  let section name rows render =
+    Buffer.add_string buf name;
+    Buffer.add_char buf ':';
+    List.iter
+      (fun kv ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (render kv))
+      rows;
+    Buffer.add_char buf '\n'
+  in
+  section "stmt" (sorted_list Hashtbl.fold t.stmt_hits)
+    (fun (sid, n) -> Printf.sprintf "%d=%d" sid n);
+  section "decision" (sorted_list Hashtbl.fold t.decision_outcomes)
+    (fun ((eid, o), n) -> Printf.sprintf "%d/%b=%d" eid o n);
+  section "switch" (sorted_list Hashtbl.fold t.switch_hits)
+    (fun ((sid, c), n) -> Printf.sprintf "%d/%d=%d" sid c n);
+  section "call" (sorted_list Hashtbl.fold t.calls)
+    (fun (f, n) -> Printf.sprintf "%s=%d" f n);
+  section "kernel" (sorted_list Hashtbl.fold t.kernel_launches)
+    (fun (f, n) -> Printf.sprintf "%s=%d" f n);
+  section "mcdc" (Mcdc.canonical t.mcdc)
+    (fun (eid, vectors) ->
+      Printf.sprintf "%d=[%s]" eid
+        (String.concat ";"
+           (List.map
+              (fun (v : Mcdc.vector) ->
+                Printf.sprintf "%s->%b"
+                  (String.concat ","
+                     (List.map
+                        (fun (cid, b) ->
+                          Printf.sprintf "%d:%s" cid
+                            (match b with
+                             | None -> "_"
+                             | Some true -> "t"
+                             | Some false -> "f"))
+                        v.Mcdc.conds))
+                  v.Mcdc.outcome)
+              vectors)));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Scoring                                                             *)
 (* ------------------------------------------------------------------ *)
 

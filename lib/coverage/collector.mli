@@ -18,6 +18,24 @@ val hooks : t -> Interp.hooks
 
 val function_called : t -> string -> bool
 
+(** [merge_into ~into src] adds [src]'s state into [into]: hit tables by
+    per-key count sum, MC/DC logs by vector-set union.  Both operators
+    are commutative and associative, and every score is a membership
+    test on the key set (or an existential over the vector set), so the
+    merge of per-scenario collectors equals the one-collector sequential
+    run exactly — the scenario-parallel engine's correctness argument
+    (see DESIGN.md). *)
+val merge_into : into:t -> t -> unit
+
+(** Merge a list of collectors (left to right) into a fresh one. *)
+val merge : t list -> t
+
+(** Deterministic, canonically-ordered rendering of the complete state:
+    equal fingerprints iff the collectors are observationally identical.
+    The differential suite compares fingerprints across jobs values; the
+    property tests across random partitions and merge orders. *)
+val fingerprint : t -> string
+
 type func_coverage = {
   fp : Instrument.func_points;
   called : bool;

@@ -917,4 +917,11 @@ let run env tus ~entry ~args =
       | Step_limit_exceeded -> Error "step limit exceeded"
       | Cxx_throw v -> Error ("uncaught C++ exception: " ^ Value.to_string v))
 
+(** Call each entry in order in the same (already loaded) environment.
+    A failing entry does not stop the rest: the environment survives
+    errors, and the fault-injection / gap-probe scenarios count the
+    coverage reached before a fault. *)
+let run_entries env ~entries =
+  List.map (fun entry -> (entry, run env [] ~entry ~args:[])) entries
+
 let output env = Buffer.contents env.output

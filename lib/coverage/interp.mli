@@ -58,5 +58,13 @@ val run :
   args:Value.t list ->
   (Value.t, string) result
 
+(** [run_entries env ~entries] calls each entry in order in the same
+    (already loaded) environment, pairing each with its result.  A
+    failing entry does not stop the rest — the fault-injection and
+    gap-probe scenarios rely on the coverage accumulated before a
+    fault. *)
+val run_entries :
+  env -> entries:string list -> (string * (Value.t, string) result) list
+
 (** Everything the program printed via printf/puts so far. *)
 val output : env -> string

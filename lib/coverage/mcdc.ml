@@ -33,6 +33,29 @@ let record t ~decision_eid ~conds ~outcome =
   let v = { conds; outcome } in
   if not (List.mem v log.vectors) then log.vectors <- v :: log.vectors
 
+(* Set-union merge: fold [src]'s vectors into [into], keeping the
+   deduplication invariant.  Union is commutative and associative on the
+   vector *sets*, so any partition of a scenario run into batches merges
+   to the same set — the scenario-parallel coverage engine relies on
+   exactly this.  Only the internal list order depends on merge order;
+   every score ({!condition_covered}, {!decision_score}) is an
+   existential over the set and is order-blind. *)
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun eid (src_log : decision_log) ->
+      List.iter
+        (fun v -> record into ~decision_eid:eid ~conds:v.conds ~outcome:v.outcome)
+        (List.rev src_log.vectors))
+    src.logs
+
+(** Canonical view for state comparison: decisions sorted by eid, each
+    vector set sorted structurally — equal return values iff the two
+    collectors carry the same MC/DC information, independent of record
+    and merge order. *)
+let canonical t =
+  Hashtbl.fold (fun eid log acc -> (eid, List.sort compare log.vectors) :: acc) t.logs []
+  |> List.sort compare
+
 (** Pairing discipline for the independence pairs:
     - [`Masking]: a short-circuit-masked (unevaluated) condition agrees
       with anything — the practical discipline for C's lazy operators;

@@ -17,6 +17,17 @@ val create : unit -> t
 val record :
   t -> decision_eid:int -> conds:(int * bool option) list -> outcome:bool -> unit
 
+(** Set-union merge of [src]'s vectors into [into].  Union is commutative
+    and associative on the deduplicated vector sets, so merging
+    per-scenario logs in any partition or order yields the same set; all
+    scoring is order-blind (existential over the set). *)
+val merge_into : into:t -> t -> unit
+
+(** Canonical state view: decisions sorted by eid, vector sets sorted
+    structurally.  Two logs are observationally identical iff their
+    canonical views are equal — the merge property tests compare these. *)
+val canonical : t -> (int * vector list) list
+
 (** Pairing discipline:
     [`Masking] — a short-circuit-masked condition agrees with anything
     (the practical discipline for C's lazy operators);

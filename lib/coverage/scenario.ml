@@ -1,0 +1,77 @@
+(** Scenario-parallel coverage execution.  See scenario.mli.
+
+    Each scenario owns a fresh {!Interp.env} and {!Collector}, so
+    scenarios are independent tasks: {!run_all} fans them out over
+    [Util.Pool] via [Telemetry.parallel_map] (order-preserving, counters
+    merged deterministically) and the caller merges the per-scenario
+    collectors with {!Collector.merge_into} — per-key count sums and
+    MC/DC vector-set unions, both commutative and associative, so merged
+    coverage equals the jobs=1 sequential run byte for byte. *)
+
+type t = {
+  sc_name : string;
+  sc_tus : Cfront.Ast.tu list;
+  sc_entries : string list;
+}
+
+type outcome = {
+  o_name : string;
+  o_collector : Collector.t;
+  o_results : (string * (Value.t, string) result) list;
+  o_output : string;
+}
+
+let run_one sc =
+  Telemetry.with_span ~cat:"coverage" "coverage.scenario"
+    ~attrs:[ ("scenario", sc.sc_name);
+             ("entries", string_of_int (List.length sc.sc_entries)) ]
+  @@ fun () ->
+  Telemetry.incr "coverage.scenarios";
+  let collector = Collector.create () in
+  let env =
+    Interp.create
+      ~hooks:(Interp.telemetry_hooks ~base:(Collector.hooks collector) ())
+      ()
+  in
+  let results =
+    match sc.sc_entries with
+    | [] -> []
+    | first :: rest ->
+      (* the first entry loads the units; the rest reuse the environment *)
+      (first, Interp.run env sc.sc_tus ~entry:first ~args:[])
+      :: Interp.run_entries env ~entries:rest
+  in
+  {
+    o_name = sc.sc_name;
+    o_collector = collector;
+    o_results = results;
+    o_output = Interp.output env;
+  }
+
+(* chunk_size 1: scenarios are coarse units of work (each replays a whole
+   interpreter run), so one task per scenario keeps the pool balanced. *)
+let run_all scenarios = Telemetry.parallel_map ~chunk_size:1 run_one scenarios
+
+let merged_collector outcomes =
+  Collector.merge (List.map (fun o -> o.o_collector) outcomes)
+
+let score collector ~measured tus =
+  List.filter_map
+    (fun (tu : Cfront.Ast.tu) ->
+      if List.mem tu.Cfront.Ast.tu_file measured then
+        Some
+          (Collector.score_file collector ~file:tu.Cfront.Ast.tu_file
+             (Instrument.of_tu tu))
+      else None)
+    tus
+
+let failures outcomes =
+  List.concat_map
+    (fun o ->
+      List.filter_map
+        (fun (entry, r) ->
+          match r with
+          | Ok _ -> None
+          | Error e -> Some (o.o_name, entry, e))
+        o.o_results)
+    outcomes

@@ -195,10 +195,6 @@ let close_gaps ~entry ~measured (tus : Cfront.Ast.tu list) =
   (* each probe runs in isolation: a probe may legitimately fault while
      exercising an unchecked error path, and coverage reached before the
      fault still counts *)
-  List.iter
-    (fun probe ->
-      match Interp.run env2 [] ~entry:probe ~args:[] with
-      | Ok _ | Error _ -> ())
-    entries;
+  ignore (Interp.run_entries env2 ~entries);
   let after_stmt, after_branch = score c2 in
   { before_stmt; before_branch; after_stmt; after_branch; plans; driver }

@@ -42,12 +42,43 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
   @@ fun () ->
   let project = Corpus.Generator.generate ~seed specs in
   let parsed = Cfront.Project.parse project in
-  let metrics = Project_metrics.of_parsed parsed in
-  let yolo_coverage, yolo_run_output, yolo_exit = run_yolo_coverage () in
+  let metrics, (yolo_coverage, yolo_run_output, yolo_exit),
+      (stencil_coverage, stencil_exit) =
+    match Util.Pool.global () with
+    | None ->
+      (* jobs=1: the exact sequential oracle, phase after phase. *)
+      let metrics = Project_metrics.of_parsed parsed in
+      let yolo = run_yolo_coverage () in
+      let stencil = run_stencil_coverage () in
+      (metrics, yolo, stencil)
+    | Some pool ->
+      (* Pipelined phases: the corpus parse above is the shared prefix;
+         misra, dataflow and the two coverage scenarios fan out to pool
+         workers while the main domain runs the core metric walk, and
+         everything joins before report assembly.  Phases only read
+         [parsed] and merge into telemetry counters (mutex-protected
+         sums, so totals are independent of interleaving); spans emitted
+         on workers carry the worker's domain id and overlap in a
+         [--trace] timeline. *)
+      let f_misra =
+        Util.Pool.submit pool (fun () -> Project_metrics.misra_of_parsed parsed)
+      in
+      let f_dataflow =
+        Util.Pool.submit pool (fun () ->
+            Project_metrics.module_dataflow_of_parsed parsed)
+      in
+      let f_yolo = Util.Pool.submit pool run_yolo_coverage in
+      let f_stencil = Util.Pool.submit pool run_stencil_coverage in
+      let metrics =
+        Project_metrics.of_parsed_with
+          ~misra:(fun () -> Util.Pool.await f_misra)
+          ~module_dataflow:(Util.Pool.await f_dataflow) parsed
+      in
+      (metrics, Util.Pool.await f_yolo, Util.Pool.await f_stencil)
+  in
   (match yolo_exit with
    | Ok _ -> ()
    | Error e -> failwith ("YOLO coverage scenario failed: " ^ e));
-  let stencil_coverage, stencil_exit = run_stencil_coverage () in
   (match stencil_exit with
    | Ok _ -> ()
    | Error e -> failwith ("stencil coverage scenario failed: " ^ e));

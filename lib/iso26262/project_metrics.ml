@@ -45,7 +45,33 @@ type t = {
   dataflow : Dataflow.Analyses.totals;
 }
 
-let of_parsed (parsed : Cfront.Project.parsed) =
+(* ------------------------------------------------------------------ *)
+(* Separable phases                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The MISRA pass and the per-module dataflow solves are the two
+   heavyweight consumers of the parsed project that nothing else in this
+   record depends on.  They are exposed as standalone functions so the
+   pipelined audit can run them on pool workers concurrently with the
+   core metric walk; [of_parsed] composes them sequentially — the exact
+   jobs=1 oracle. *)
+
+let misra_of_parsed (parsed : Cfront.Project.parsed) =
+  Misra.Registry.run (Misra.Rule.build_context parsed)
+
+let module_dataflow_of_parsed (parsed : Cfront.Project.parsed) =
+  List.map
+    (fun m ->
+      let fns =
+        Cfront.Project.defined_functions
+          (Cfront.Project.parsed_files_of_module parsed m)
+      in
+      (m, Dataflow.Analyses.totals_of (Dataflow.Analyses.summarize_functions fns)))
+    (Cfront.Project.module_names parsed.Cfront.Project.project)
+
+let of_parsed_with ~(misra : unit -> Misra.Registry.report)
+    ~(module_dataflow : (string * Dataflow.Analyses.totals) list)
+    (parsed : Cfront.Project.parsed) =
   Telemetry.with_span ~cat:"metrics" "metrics"
     ~attrs:[ ("files", string_of_int (List.length parsed.Cfront.Project.files)) ]
   @@ fun () ->
@@ -66,7 +92,11 @@ let of_parsed (parsed : Cfront.Project.parsed) =
           multi_exit_frac = Metrics.Func_shape.multi_exit_fraction fns;
           gotos = Metrics.Func_shape.total_gotos fns;
           dataflow =
-            Dataflow.Analyses.totals_of (Dataflow.Analyses.summarize_functions fns);
+            (match List.assoc_opt m module_dataflow with
+             | Some t -> t
+             | None ->
+               Dataflow.Analyses.totals_of
+                 (Dataflow.Analyses.summarize_functions fns));
         })
       module_names
   in
@@ -114,11 +144,15 @@ let of_parsed (parsed : Cfront.Project.parsed) =
     architecture = Metrics.Architecture.build ~parsed;
     namespace_depth = Metrics.Architecture.namespace_depth files;
     cuda = Cudasim.Census.of_files files;
-    misra = Misra.Registry.run (Misra.Rule.build_context parsed);
+    misra = misra ();
     dataflow =
       List.fold_left
         (fun t (m : module_metrics) -> Dataflow.Analyses.add_totals t m.dataflow)
         Dataflow.Analyses.zero_totals per_module;
   }
+
+let of_parsed (parsed : Cfront.Project.parsed) =
+  let module_dataflow = module_dataflow_of_parsed parsed in
+  of_parsed_with ~misra:(fun () -> misra_of_parsed parsed) ~module_dataflow parsed
 
 let find_module t name = List.find_opt (fun m -> m.modname = name) t.modules

@@ -52,4 +52,25 @@ type t = {
     each AST; ~1 s for the paper-scale 228k LOC corpus. *)
 val of_parsed : Cfront.Project.parsed -> t
 
+(** The two heavyweight phases nothing else in the record depends on,
+    exposed standalone so the pipelined audit can fan them out to pool
+    workers concurrently with the core metric walk. *)
+
+val misra_of_parsed : Cfront.Project.parsed -> Misra.Registry.report
+
+val module_dataflow_of_parsed :
+  Cfront.Project.parsed -> (string * Dataflow.Analyses.totals) list
+
+(** [of_parsed_with ~misra ~module_dataflow parsed] assembles the record
+    with the MISRA report supplied by the [misra] thunk (called last, so
+    a pipelined caller blocks on that future only at the join) and the
+    per-module dataflow totals looked up in [module_dataflow] (missing
+    modules fall back to an inline solve).  [of_parsed] is exactly this
+    with the two phases computed sequentially first. *)
+val of_parsed_with :
+  misra:(unit -> Misra.Registry.report) ->
+  module_dataflow:(string * Dataflow.Analyses.totals) list ->
+  Cfront.Project.parsed ->
+  t
+
 val find_module : t -> string -> module_metrics option

@@ -33,6 +33,7 @@ type event = {
   ev_start_us : float;
   ev_dur_us : float;
   ev_depth : int;
+  ev_tid : int;
   ev_attrs : attr list;
 }
 
@@ -41,6 +42,7 @@ type span = {
   sp_cat : string;
   sp_start_us : float;
   sp_depth : int;
+  sp_tid : int;
   mutable sp_attrs : attr list;
   mutable sp_closed : bool;
 }
@@ -81,7 +83,7 @@ let reset () =
 (* ------------------------------------------------------------------ *)
 
 let inert_span =
-  { sp_name = ""; sp_cat = ""; sp_start_us = 0.0; sp_depth = 0;
+  { sp_name = ""; sp_cat = ""; sp_start_us = 0.0; sp_depth = 0; sp_tid = 0;
     sp_attrs = []; sp_closed = true }
 
 let start_span ?(cat = "adcheck") ?(attrs = []) name =
@@ -90,7 +92,8 @@ let start_span ?(cat = "adcheck") ?(attrs = []) name =
     locked (fun () ->
         let sp =
           { sp_name = name; sp_cat = cat; sp_start_us = now_us ();
-            sp_depth = !open_depth; sp_attrs = attrs; sp_closed = false }
+            sp_depth = !open_depth; sp_tid = (Domain.self () :> int);
+            sp_attrs = attrs; sp_closed = false }
         in
         incr open_depth;
         sp)
@@ -107,7 +110,8 @@ let end_span ?(attrs = []) sp =
           { ev_name = sp.sp_name; ev_cat = sp.sp_cat;
             ev_start_us = sp.sp_start_us;
             ev_dur_us = Stdlib.max 0.0 (stop -. sp.sp_start_us);
-            ev_depth = sp.sp_depth; ev_attrs = sp.sp_attrs @ attrs }
+            ev_depth = sp.sp_depth; ev_tid = sp.sp_tid;
+            ev_attrs = sp.sp_attrs @ attrs }
           :: !events_rev)
 
 let with_span ?cat ?attrs name f =
@@ -261,10 +265,10 @@ let chrome_trace () =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1"
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d"
            (json_escape e.ev_name) (json_escape e.ev_cat)
            (json_num (e.ev_start_us -. base))
-           (json_num e.ev_dur_us));
+           (json_num e.ev_dur_us) e.ev_tid);
       if e.ev_attrs <> [] then begin
         Buffer.add_string buf ",\"args\":{";
         List.iteri

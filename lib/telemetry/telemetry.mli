@@ -104,6 +104,11 @@ type event = {
   ev_start_us : float;
   ev_dur_us : float;
   ev_depth : int;  (** nesting depth at the time the span opened *)
+  ev_tid : int;
+      (** domain id the span ran on — the pipelined audit phases record
+          their spans from worker domains, so a Chrome trace of a
+          [--jobs N] run shows the phases on separate rows, overlapping
+          in time *)
   ev_attrs : attr list;
 }
 

@@ -125,6 +125,11 @@ let await fut =
   in
   wait ()
 
+(* Await in submission order: the join point of the fan-out/fan-in
+   pattern the pipelined audit uses.  Blocking on an early future while
+   later ones complete is fine — their outcomes are retained. *)
+let await_all futs = List.map await futs
+
 (* ------------------------------------------------------------------ *)
 (* Order-preserving chunked map                                        *)
 (* ------------------------------------------------------------------ *)

@@ -48,6 +48,12 @@ val submit : t -> (unit -> 'a) -> 'a future
     its original backtrace) if it failed. *)
 val await : 'a future -> 'a
 
+(** Await every future, returning results in submission order — the
+    fan-in half of the future-per-phase pattern (the pipelined audit
+    submits independent phases from the main domain and joins here).
+    Re-raises the first listed failure. *)
+val await_all : 'a future list -> 'a list
+
 (** True while executing on one of the pool's worker domains. *)
 val inside_worker : unit -> bool
 

@@ -601,6 +601,151 @@ let test_testgen_closes_yolo_gaps () =
   Alcotest.(check bool) "driver parses" true
     ((Cfront.Parser.parse_file ~file:"d.c" r.Coverage.Testgen.driver).Cfront.Ast.diags = [])
 
+(* ------------------------------------------------------------------ *)
+(* Merge-operator properties                                            *)
+(*                                                                      *)
+(* The scenario-parallel engine's correctness rests on the collector     *)
+(* merge being a per-key count sum plus an MC/DC vector-set union —      *)
+(* commutative and associative.  These properties drive random event     *)
+(* streams into per-scenario collectors, then check that ANY partition   *)
+(* of the scenarios into batches, merged in ANY order, fingerprints      *)
+(* identically to the flat left-to-right merge (the sequential oracle).  *)
+(* Seeding is explicit everywhere — no Random.self_init.                 *)
+(* ------------------------------------------------------------------ *)
+
+type cov_event =
+  | Ev_stmt of int
+  | Ev_decision of int * bool
+  | Ev_switch of int * int
+  | Ev_call of string
+  | Ev_kernel of string
+  | Ev_mcdc of int * (int * bool option) list * bool
+
+let apply_event col ev =
+  let bump tbl key =
+    Hashtbl.replace tbl key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  match ev with
+  | Ev_stmt sid -> bump col.Coverage.Collector.stmt_hits sid
+  | Ev_decision (eid, o) -> bump col.Coverage.Collector.decision_outcomes (eid, o)
+  | Ev_switch (sid, idx) -> bump col.Coverage.Collector.switch_hits (sid, idx)
+  | Ev_call f -> bump col.Coverage.Collector.calls f
+  | Ev_kernel k -> bump col.Coverage.Collector.kernel_launches k
+  | Ev_mcdc (eid, conds, outcome) ->
+    Coverage.Mcdc.record col.Coverage.Collector.mcdc ~decision_eid:eid ~conds
+      ~outcome
+
+let collector_of_events evs =
+  let col = Coverage.Collector.create () in
+  List.iter (apply_event col) evs;
+  col
+
+let cov_event_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (4, map (fun i -> Ev_stmt i) (int_range 0 40));
+      (3, map2 (fun i b -> Ev_decision (i, b)) (int_range 0 15) bool);
+      (2, map2 (fun i j -> Ev_switch (i, j)) (int_range 0 8) (int_range 0 3));
+      (2, map (fun i -> Ev_call ("f" ^ string_of_int i)) (int_range 0 9));
+      (1, map (fun i -> Ev_kernel ("k" ^ string_of_int i)) (int_range 0 4));
+      ( 3,
+        map3
+          (fun eid mask outcome ->
+            (* three conditions; two mask bits each pick masked/T/F *)
+            let conds =
+              List.init 3 (fun c ->
+                  ( c,
+                    match (mask lsr (2 * c)) land 3 with
+                    | 0 -> None
+                    | 1 -> Some true
+                    | _ -> Some false ))
+            in
+            Ev_mcdc (eid, conds, outcome))
+          (int_range 0 6) (int_range 0 63) bool );
+    ]
+
+(* A "scenario" is one event stream; a test case is a few scenarios plus
+   a seed driving the partition and merge order. *)
+let scenario_streams_gen =
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 0 10) (list_size (int_range 0 30) cov_event_gen))
+      (int_range 0 1_000_000))
+
+let print_streams (streams, seed) =
+  Printf.sprintf "seed=%d streams=%s" seed
+    (String.concat ";"
+       (List.map (fun evs -> string_of_int (List.length evs)) streams))
+
+let prop_merge_partition_invariant =
+  QCheck.Test.make
+    ~name:"collector merge is partition- and order-invariant" ~count:150
+    (QCheck.make ~print:print_streams scenario_streams_gen)
+    (fun (streams, seed) ->
+      let oracle =
+        Coverage.Collector.fingerprint
+          (Coverage.Collector.merge (List.map collector_of_events streams))
+      in
+      let st = Random.State.make [| seed; 0x26262 |] in
+      (* partition the scenario list into k batches at random *)
+      let k = 1 + Random.State.int st 4 in
+      let batches = Array.make k [] in
+      List.iter
+        (fun evs ->
+          let b = Random.State.int st k in
+          batches.(b) <- evs :: batches.(b))
+        streams;
+      let batch_cols =
+        Array.to_list
+          (Array.map
+             (fun evss ->
+               Coverage.Collector.merge (List.map collector_of_events evss))
+             batches)
+      in
+      (* merge the batch collectors in a random order *)
+      let tagged =
+        List.map (fun c -> (Random.State.bits st, c)) batch_cols
+      in
+      let shuffled =
+        List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) tagged)
+      in
+      String.equal oracle
+        (Coverage.Collector.fingerprint (Coverage.Collector.merge shuffled)))
+
+let prop_merge_empty_identity =
+  QCheck.Test.make ~name:"merging an empty collector changes nothing" ~count:100
+    (QCheck.make ~print:print_streams scenario_streams_gen)
+    (fun (streams, _seed) ->
+      let col =
+        Coverage.Collector.merge (List.map collector_of_events streams)
+      in
+      let before = Coverage.Collector.fingerprint col in
+      Coverage.Collector.merge_into ~into:col (Coverage.Collector.create ());
+      String.equal before (Coverage.Collector.fingerprint col))
+
+let prop_mcdc_union_deduplicates =
+  QCheck.Test.make
+    ~name:"MC/DC vector union deduplicates across scenarios" ~count:100
+    (QCheck.make ~print:print_streams scenario_streams_gen)
+    (fun (streams, _seed) ->
+      (* replaying every scenario twice must not change the canonical
+         vector sets: the union is a set union, not a multiset sum *)
+      let once =
+        Coverage.Collector.merge (List.map collector_of_events streams)
+      in
+      let twice =
+        Coverage.Collector.merge
+          (List.map collector_of_events (streams @ streams))
+      in
+      Coverage.Mcdc.canonical once.Coverage.Collector.mcdc
+      = Coverage.Mcdc.canonical twice.Coverage.Collector.mcdc)
+
+(* Deterministic QCheck driver state: the suite must not depend on a
+   wall-clock seed (concurrency policy: seeded, reproducible). *)
+let merge_prop_rand = Random.State.make [| 0x26262 |]
+
 let () =
   Alcotest.run "coverage"
     [
@@ -673,6 +818,15 @@ let () =
         ] );
       ( "differential",
         [ QCheck_alcotest.to_alcotest prop_interpreter_matches_reference ] );
+      ( "merge",
+        [
+          QCheck_alcotest.to_alcotest ~rand:merge_prop_rand
+            prop_merge_partition_invariant;
+          QCheck_alcotest.to_alcotest ~rand:merge_prop_rand
+            prop_merge_empty_identity;
+          QCheck_alcotest.to_alcotest ~rand:merge_prop_rand
+            prop_mcdc_union_deduplicates;
+        ] );
       ( "annotate",
         [
           Alcotest.test_case "listing" `Quick test_annotate_listing;

@@ -11,7 +11,14 @@
    - the per-function dataflow summaries and their totals,
    - the merged telemetry counter list (parse, misra and dataflow keys),
 
-   all of which must be *identical*, not merely equivalent. *)
+   all of which must be *identical*, not merely equivalent.
+
+   The "coverage" group applies the same discipline to the scenario-
+   parallel coverage engine: the full scenario set (real scenarios +
+   fault injection + testgen probes, over one shared parse) replayed at
+   jobs=2/4 must merge to the byte-identical collector state, per-file
+   percentages, MC/DC satisfied-pair counts and per-scenario results
+   that jobs=1 produces. *)
 
 type run_result = {
   violations : (string * string * int * int * string) list;
@@ -100,6 +107,118 @@ let check_counters_equal ~oracle ~jobs =
    listing mode stays cheap). *)
 let oracle = lazy (run_pipeline ~jobs:1)
 
+(* ------------------------------------------------------------------ *)
+(* Coverage differential                                                *)
+(*                                                                      *)
+(* The scenario-parallel coverage engine must be exact, not just         *)
+(* statistically close: the full scenario set (real scenarios, fault     *)
+(* injection, testgen probes) replayed at jobs=2/4 must merge to the     *)
+(* byte-identical collector state the jobs=1 run produces — same         *)
+(* per-file hit sets, same statement percentages, same MC/DC             *)
+(* satisfied-pair counts, same per-scenario results.                     *)
+(*                                                                      *)
+(* The set is built ONCE and shared by every jobs value: statement and   *)
+(* decision ids are assigned at parse time from a process-global         *)
+(* counter, so a second parse would yield different absolute ids and     *)
+(* nothing would be comparable.  Sharing the parse is also exactly what  *)
+(* production does (Corpus.Scenario_set).                                *)
+(* ------------------------------------------------------------------ *)
+
+let coverage_set =
+  lazy
+    (Util.Pool.set_default_jobs 1;
+     Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs restore_jobs)
+       Corpus.Scenario_set.full)
+
+type coverage_result = {
+  c_fingerprint : string;
+  c_files : string list;  (** one canonical line per measured file *)
+  c_results : (string * string) list;  (** scenario/entry -> outcome *)
+}
+
+let run_coverage ~jobs =
+  let set = Lazy.force coverage_set in
+  Util.Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs restore_jobs)
+  @@ fun () ->
+  let outcomes =
+    Coverage.Scenario.run_all set.Corpus.Scenario_set.scenarios
+  in
+  let merged = Coverage.Scenario.merged_collector outcomes in
+  let files =
+    Coverage.Scenario.score merged ~measured:set.Corpus.Scenario_set.measured
+      set.Corpus.Scenario_set.tus
+  in
+  {
+    c_fingerprint = Coverage.Collector.fingerprint merged;
+    c_files =
+      List.map
+        (fun (f : Coverage.Collector.file_coverage) ->
+          let pairs_hit, pairs_total =
+            List.fold_left
+              (fun (h, t) (fc : Coverage.Collector.func_coverage) ->
+                ( h + fc.Coverage.Collector.conditions_hit,
+                  t + fc.Coverage.Collector.conditions_total ))
+              (0, 0) f.Coverage.Collector.functions
+          in
+          Printf.sprintf "%s stmt=%.6f branch=%.6f mcdc=%.6f pairs=%d/%d"
+            f.Coverage.Collector.file f.Coverage.Collector.stmt_pct
+            f.Coverage.Collector.branch_pct f.Coverage.Collector.mcdc_pct
+            pairs_hit pairs_total)
+        files;
+    c_results =
+      List.concat_map
+        (fun (o : Coverage.Scenario.outcome) ->
+          List.map
+            (fun (entry, r) ->
+              ( o.Coverage.Scenario.o_name ^ "/" ^ entry,
+                match r with
+                | Ok v -> "ok " ^ Coverage.Value.to_string v
+                | Error e -> "error " ^ e ))
+            o.Coverage.Scenario.o_results)
+        outcomes;
+  }
+
+let coverage_oracle = lazy (run_coverage ~jobs:1)
+
+let check_coverage_equal ~jobs =
+  let oracle = Lazy.force coverage_oracle in
+  let par = run_coverage ~jobs in
+  Alcotest.(check string)
+    (Printf.sprintf "merged collector fingerprint identical at jobs=%d" jobs)
+    oracle.c_fingerprint par.c_fingerprint;
+  Alcotest.(check (list string))
+    (Printf.sprintf "per-file coverage identical at jobs=%d" jobs)
+    oracle.c_files par.c_files;
+  Alcotest.(check (list (pair string string)))
+    (Printf.sprintf "per-scenario results identical at jobs=%d" jobs)
+    oracle.c_results par.c_results
+
+let test_coverage_jobs2 () = check_coverage_equal ~jobs:2
+let test_coverage_jobs4 () = check_coverage_equal ~jobs:4
+
+let test_coverage_oracle_stable () =
+  let a = Lazy.force coverage_oracle in
+  let b = run_coverage ~jobs:1 in
+  Alcotest.(check string) "sequential fingerprints agree" a.c_fingerprint
+    b.c_fingerprint;
+  Alcotest.(check (list string)) "sequential file lines agree" a.c_files
+    b.c_files;
+  Alcotest.(check bool) "scenario set nonempty" true (a.c_results <> []);
+  (* the set really contains all three scenario families *)
+  let set = Lazy.force coverage_set in
+  let has prefix =
+    List.exists
+      (fun (sc : Coverage.Scenario.t) ->
+        let n = sc.Coverage.Scenario.sc_name in
+        String.length n >= String.length prefix
+        && String.sub n 0 (String.length prefix) = prefix)
+      set.Corpus.Scenario_set.scenarios
+  in
+  Alcotest.(check bool) "real scenarios present" true (has "yolo-real");
+  Alcotest.(check bool) "fault scenarios present" true (has "detections-");
+  Alcotest.(check bool) "testgen probes present" true (has "testgen-probes")
+
 let test_reports_jobs4 () =
   check_jobs_equal ~oracle:(Lazy.force oracle) ~jobs:4
 
@@ -133,5 +252,14 @@ let () =
             test_counters_jobs4;
           Alcotest.test_case "merged counters at jobs=2" `Slow
             test_counters_jobs2;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "coverage oracle is stable" `Slow
+            test_coverage_oracle_stable;
+          Alcotest.test_case "merged coverage at jobs=2" `Slow
+            test_coverage_jobs2;
+          Alcotest.test_case "merged coverage at jobs=4" `Slow
+            test_coverage_jobs4;
         ] );
     ]

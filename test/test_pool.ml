@@ -105,6 +105,53 @@ let test_nested_submit_does_not_deadlock () =
   Alcotest.(check bool) "caller is not a worker" false
     (Util.Pool.inside_worker ())
 
+(* Submitting from the main domain while every worker is busy: the
+   fan-out pattern of the pipelined audit (phases submitted up front,
+   joined later) must not deadlock on a saturated pool, and await_all
+   must hand results back in submission order even though completion
+   order is whatever the queue drain makes it.  The gate makes the
+   saturation deterministic: the test proceeds only once every worker
+   is parked inside a blocker task. *)
+let test_submit_while_saturated () =
+  with_pool ~jobs:2 (fun pool ->
+      let m = Mutex.create () in
+      let c = Condition.create () in
+      let released = ref false in
+      let entered = Atomic.make 0 in
+      let gate i =
+        Atomic.incr entered;
+        Mutex.lock m;
+        while not !released do
+          Condition.wait c m
+        done;
+        Mutex.unlock m;
+        i * 10
+      in
+      let blockers = List.init 2 (fun i -> Util.Pool.submit pool (fun () -> gate i)) in
+      (* wait until both workers are provably parked on the gate *)
+      while Atomic.get entered < 2 do
+        Domain.cpu_relax ()
+      done;
+      (* the pool is saturated; these submissions must queue, not hang
+         the submitter or run inline on the main domain *)
+      let futs =
+        List.init 50 (fun i ->
+            Util.Pool.submit pool (fun () ->
+                Alcotest.(check bool) "queued task runs on a worker" true
+                  (Util.Pool.inside_worker ());
+                i * 3))
+      in
+      Mutex.lock m;
+      released := true;
+      Condition.broadcast c;
+      Mutex.unlock m;
+      Alcotest.(check (list int)) "blocker results in submission order"
+        [ 0; 10 ]
+        (Util.Pool.await_all blockers);
+      Alcotest.(check (list int)) "queued results in submission order"
+        (List.init 50 (fun i -> i * 3))
+        (Util.Pool.await_all futs))
+
 (* ------------------------------------------------------------------ *)
 (* jobs=1: the sequential oracle                                        *)
 (* ------------------------------------------------------------------ *)
@@ -228,6 +275,8 @@ let () =
         [
           Alcotest.test_case "nested submit runs inline" `Quick
             test_nested_submit_does_not_deadlock;
+          Alcotest.test_case "submit while saturated does not deadlock" `Quick
+            test_submit_while_saturated;
         ] );
       ( "oracle",
         [
