@@ -37,6 +37,9 @@ check-par:
 # scenario set: real scenarios + fault injection + testgen probes) —
 # the per-experiment counters record the scenario count, and the gauges
 # record the coverage-phase wall time of the last pass.
+# BENCH_4.json sweeps the interprocedural summary engine (SCC-level
+# parallel bottom-up propagation); the interproc.* counters must be
+# identical across the jobs sweep.
 bench:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --scale small --out BENCH_1.json \
@@ -45,6 +48,8 @@ bench:
 	  table1
 	dune exec bench/main.exe -- --scale small --jobs 1,4 --out BENCH_3.json \
 	  scenarios
+	dune exec bench/main.exe -- --scale small --jobs 1,4 --out BENCH_4.json \
+	  interproc
 
 clean:
 	dune clean

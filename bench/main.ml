@@ -570,6 +570,19 @@ let run_scenarios () =
   Printf.printf "averages: statement %.1f%%, branch %.1f%%, MC/DC %.1f%%\n"
     stmt branch mcdc
 
+let run_interproc () =
+  heading "Extension - whole-program summary engine (SCC-level parallel bottom-up)";
+  let ip = (metrics ()).Iso26262.Project_metrics.interproc in
+  print_string (Iso26262.Report.render_interproc ip);
+  let r = ip.Interproc.Summary.graph.Cfront.Callgraph.resolution in
+  Printf.printf
+    "\n%d summaries over %d SCCs in %d bottom-up levels on %d worker domain(s);\n\
+     resolution confidence: %d of %d call sites resolved.\n"
+    (List.length ip.Interproc.Summary.summaries) ip.Interproc.Summary.n_sccs
+    ip.Interproc.Summary.n_levels
+    (Util.Pool.default_jobs ())
+    r.Cfront.Callgraph.resolved r.Cfront.Callgraph.total_sites
+
 let run_plan () =
   heading "Extension - effort-classified remediation plan (the paper's conclusion, actionable)";
   let a = force_audit () in
@@ -706,6 +719,7 @@ let experiments =
     ("traceability", run_traceability);
     ("scheduling", run_scheduling);
     ("scenarios", run_scenarios);
+    ("interproc", run_interproc);
     ("plan", run_plan);
     ("micro", run_micro);
   ]

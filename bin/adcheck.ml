@@ -8,7 +8,9 @@
     - [coverage]   Figure 5/6 coverage experiments
     - [gpuperf]    Figure 7/8 open- vs closed-source library comparison
     - [corpus]     write the generated corpus to disk
-    - [check]      analyze C/C++/CUDA files from disk *)
+    - [check]      analyze C/C++/CUDA files from disk
+    - [callgraph]  resolution-accounted call graph (+ Graphviz DOT)
+    - [interproc]  whole-program summaries: SCCs, purity, coupling, depth *)
 
 open Cmdliner
 
@@ -458,6 +460,85 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ files_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
+(* callgraph / interproc                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dot_arg =
+  let doc =
+    "Also write the call graph as Graphviz DOT to $(docv), with recursion \
+     cycles clustered (render with: dot -Tsvg $(docv) -o graph.svg)."
+  in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let callgraph_cmd =
+  let run seed scale dot tele =
+    with_telemetry ~cmd:"callgraph" tele @@ fun () ->
+    let project = Corpus.Generator.generate ~seed (specs_of scale) in
+    let parsed = Cfront.Project.parse project in
+    let graph =
+      Cfront.Callgraph.build (Cfront.Project.all_functions parsed)
+    in
+    let r = graph.Cfront.Callgraph.resolution in
+    Printf.printf "functions: %d   edges: %d\n"
+      (List.length graph.Cfront.Callgraph.nodes)
+      (List.length graph.Cfront.Callgraph.edges);
+    Printf.printf
+      "call sites: %d (%d resolved, %d guessed, %d ambiguous, %d unresolved, \
+       %d indirect)\n"
+      r.Cfront.Callgraph.total_sites r.Cfront.Callgraph.resolved
+      r.Cfront.Callgraph.guessed r.Cfront.Callgraph.ambiguous
+      r.Cfront.Callgraph.unresolved r.Cfront.Callgraph.indirect;
+    Printf.printf "kernel launches: %d   function pointers taken: %d\n"
+      r.Cfront.Callgraph.kernel_launches
+      (List.length r.Cfront.Callgraph.fnptr_taken);
+    (match Cfront.Callgraph.recursion_cycles graph with
+     | [] -> print_string "recursion cycles: none\n"
+     | cycles ->
+       Printf.printf "recursion cycles: %d\n" (List.length cycles);
+       List.iter
+         (fun cycle ->
+           Printf.printf "  %s\n" (String.concat " -> " cycle))
+         cycles);
+    match dot with
+    | None -> ()
+    | Some path ->
+      Interproc.Dot.write ~path graph;
+      Printf.printf "wrote DOT call graph to %s\n" path
+  in
+  let doc =
+    "Build the whole-program call graph with per-site resolution accounting \
+     (resolved/guessed/ambiguous/unresolved/indirect) and recursion cycles."
+  in
+  Cmd.v (Cmd.info "callgraph" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ dot_arg $ telemetry_term)
+
+let interproc_cmd =
+  let run seed scale format dot tele =
+    with_telemetry ~cmd:"interproc" tele @@ fun () ->
+    let project = Corpus.Generator.generate ~seed (specs_of scale) in
+    let parsed = Cfront.Project.parse project in
+    let ip = Interproc.Summary.analyze parsed in
+    (match format with
+     | Util.Table.Text -> print_string (Iso26262.Report.render_interproc ip)
+     | (Util.Table.Markdown | Util.Table.Csv) as fmt ->
+       print_string
+         (Util.Table.render_as fmt (Iso26262.Report.interproc_table ip)));
+    match dot with
+    | None -> ()
+    | Some path ->
+      Interproc.Dot.write ~path ip.Interproc.Summary.graph;
+      Printf.printf "wrote DOT call graph to %s\n" path
+  in
+  let doc =
+    "Whole-program summary engine: SCC condensation, bottom-up \
+     purity/side-effect summaries, global-coupling matrix, worst-case \
+     call/stack depth and cross-call initialization flows."
+  in
+  Cmd.v (Cmd.info "interproc" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ format_arg $ dot_arg
+          $ telemetry_term)
+
+(* ------------------------------------------------------------------ *)
 (* wcet                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -529,5 +610,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ audit_cmd; complexity_cmd; misra_cmd; dataflow_cmd; coverage_cmd;
-            gpuperf_cmd; corpus_cmd; check_cmd; wcet_cmd; brook_cmd;
-            faults_cmd ]))
+            gpuperf_cmd; corpus_cmd; check_cmd; callgraph_cmd; interproc_cmd;
+            wcet_cmd; brook_cmd; faults_cmd ]))

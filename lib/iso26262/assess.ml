@@ -200,9 +200,15 @@ let assess_unit_design ?(th = default_thresholds) (m : Project_metrics.t) =
        | Some pm -> pm.globals
        | None -> 0
      in
+     let shared =
+       Util.Stats.sum_int
+         (List.map
+            (fun c -> c.Interproc.Summary.mc_shared)
+            m.interproc.Interproc.Summary.coupling)
+     in
      mk (topic Guidelines.Unit_design 5) v (Some (float_of_int m.globals_total))
-       "%d mutable globals (%d in perception alone); standard permits only justified usage"
-       m.globals_total perception);
+       "%d mutable globals (%d in perception alone, %d shared across modules); standard permits only justified usage"
+       m.globals_total perception shared);
     (let u = m.pointer_usage in
      let total_ptr = u.Metrics.Pointers.ptr_params + u.Metrics.Pointers.ptr_locals in
      let v = if total_ptr > 0 then Fail else Pass in
@@ -223,9 +229,13 @@ let assess_unit_design ?(th = default_thresholds) (m : Project_metrics.t) =
        "%d goto statements" m.gotos_total);
     (let n = List.length m.recursive_functions in
      let v = if n > th.max_recursions then Fail else Pass in
+     let cycles = m.interproc.Interproc.Summary.cycles in
      mk (topic Guidelines.Unit_design 10) v (Some (float_of_int n))
-       "%d recursive functions (e.g. %s)" n
-       (match m.recursive_functions with f :: _ -> f | [] -> "none"));
+       "%d recursive functions in %d cycles (e.g. %s); worst-case call depth %s"
+       n (List.length cycles)
+       (match m.recursive_functions with f :: _ -> f | [] -> "none")
+       (Interproc.Summary.render_depth
+          m.interproc.Interproc.Summary.max_call_depth));
   ]
 
 let assess_all ?(th = default_thresholds) m =

@@ -107,6 +107,9 @@ let render audit =
   Buffer.add_string buf (Report.render_dataflow audit.metrics);
   Buffer.add_char buf '\n';
   Buffer.add_string buf
+    (Report.render_interproc audit.metrics.Project_metrics.interproc);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
     (Report.render_findings
        ~title:"Paper Table 1: modeling and coding guidelines (ISO 26262-6 Table 1)"
        audit.coding);
@@ -131,6 +134,8 @@ let render audit =
        audit.stencil_coverage);
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Report.render_observations audit.observations);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Traceability.render_tool_evidence audit.metrics);
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Report.render_compliance (all_findings audit));
   Buffer.contents buf

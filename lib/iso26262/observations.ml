@@ -72,9 +72,13 @@ let of_metrics (m : Project_metrics.t)
       m.ignored_returns;
     make 7 "AD software uses global variables"
       (float_of_int m.globals_total > 2.0 *. (float_of_int m.total_loc /. 1000.0))
-      "%d mutable globals (%d in perception; paper: ~900 in perception)"
+      "%d mutable globals (%d in perception; %d shared across modules; paper: ~900 in perception)"
       m.globals_total
-      (match find_module m "perception" with Some pm -> pm.globals | None -> 0);
+      (match find_module m "perception" with Some pm -> pm.globals | None -> 0)
+      (Util.Stats.sum_int
+         (List.map
+            (fun c -> c.Interproc.Summary.mc_shared)
+            m.interproc.Interproc.Summary.coupling));
     make 8 "AD software follows style guides"
       (m.style_per_kloc <= 1.0)
       "%.2f style findings per kLOC under the Google C++ style subset"
@@ -110,10 +114,12 @@ let of_metrics (m : Project_metrics.t)
        / 1000);
     make 14 "Unit design and implementation principles are not met"
       (m.multi_exit_frac > 0.3 && m.dyn_alloc_sites > 0)
-      "%.0f%% multi-exit functions, %d dynamic allocations, %d gotos, %d recursions"
+      "%.0f%% multi-exit functions, %d dynamic allocations, %d gotos, %d recursions (call depth %s)"
       (100.0 *. m.multi_exit_frac)
       m.dyn_alloc_sites m.gotos_total
-      (List.length m.recursive_functions);
+      (List.length m.recursive_functions)
+      (Interproc.Summary.render_depth
+         m.interproc.Interproc.Summary.max_call_depth);
   ]
 
 let all_hold obs = List.for_all (fun o -> o.holds) obs

@@ -43,6 +43,7 @@ type t = {
   cuda : Cudasim.Census.t;
   misra : Misra.Registry.report;
   dataflow : Dataflow.Analyses.totals;
+  interproc : Interproc.Summary.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -144,6 +145,7 @@ let of_parsed_with ~(misra : unit -> Misra.Registry.report)
     architecture = Metrics.Architecture.build ~parsed;
     namespace_depth = Metrics.Architecture.namespace_depth files;
     cuda = Cudasim.Census.of_files files;
+    interproc = Interproc.Summary.analyze parsed;
     misra = misra ();
     dataflow =
       List.fold_left

@@ -46,6 +46,9 @@ type t = {
   cuda : Cudasim.Census.t;
   misra : Misra.Registry.report;
   dataflow : Dataflow.Analyses.totals;  (** project-wide sum of the per-module counts *)
+  interproc : Interproc.Summary.t;
+      (** whole-program summaries: recursion cycles, call/stack depth,
+          global coupling, cross-call uninit flows *)
 }
 
 (** Extract everything from a parsed project.  Cost is a few passes over

@@ -111,6 +111,104 @@ let dataflow_table (m : Project_metrics.t) =
 
 let render_dataflow m = Util.Table.render (dataflow_table m)
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural summary engine output                               *)
+(* ------------------------------------------------------------------ *)
+
+let interproc_table (t : Interproc.Summary.t) =
+  let tbl =
+    Util.Table.make
+      ~title:
+        "Global coupling per module (whole-program summaries, ISO 26262-6 \
+         Table 3 1f/1g)"
+      ~header:
+        [ "module"; "functions"; "globals declared"; "read"; "written";
+          "shared with other modules" ]
+      ~aligns:
+        [ Util.Table.Left; Util.Table.Right; Util.Table.Right; Util.Table.Right;
+          Util.Table.Right; Util.Table.Right ]
+      ()
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl (c : Interproc.Summary.module_coupling) ->
+        Util.Table.add_row tbl
+          [ c.Interproc.Summary.mc_module;
+            string_of_int c.Interproc.Summary.mc_functions;
+            string_of_int c.Interproc.Summary.mc_globals_declared;
+            string_of_int c.Interproc.Summary.mc_globals_read;
+            string_of_int c.Interproc.Summary.mc_globals_written;
+            string_of_int c.Interproc.Summary.mc_shared ])
+      tbl t.Interproc.Summary.coupling
+  in
+  let sum f = Util.Stats.sum_int (List.map f t.Interproc.Summary.coupling) in
+  Util.Table.add_row tbl
+    [ "total";
+      string_of_int (sum (fun c -> c.Interproc.Summary.mc_functions));
+      string_of_int (sum (fun c -> c.Interproc.Summary.mc_globals_declared));
+      string_of_int (sum (fun c -> c.Interproc.Summary.mc_globals_read));
+      string_of_int (sum (fun c -> c.Interproc.Summary.mc_globals_written));
+      string_of_int (sum (fun c -> c.Interproc.Summary.mc_shared)) ]
+
+(** The call-hierarchy table: recursion cycles, worst-case call depth
+    and stack bound, and call-resolution accounting — the whole-program
+    evidence behind the "no recursion" / "limited stack" guidelines. *)
+let render_interproc (t : Interproc.Summary.t) =
+  let open Interproc.Summary in
+  let r = t.graph.Cfront.Callgraph.resolution in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Util.Table.render (interproc_table t));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "call graph: %d functions, %d call sites (%d resolved, %d guessed, %d \
+        ambiguous, %d unresolved, %d indirect, %d kernel launches, %d \
+        function pointers taken)\n"
+       (List.length t.graph.Cfront.Callgraph.nodes)
+       r.Cfront.Callgraph.total_sites r.Cfront.Callgraph.resolved
+       r.Cfront.Callgraph.guessed r.Cfront.Callgraph.ambiguous
+       r.Cfront.Callgraph.unresolved r.Cfront.Callgraph.indirect
+       r.Cfront.Callgraph.kernel_launches
+       (List.length r.Cfront.Callgraph.fnptr_taken));
+  Buffer.add_string buf
+    (Printf.sprintf "condensation: %d SCCs in %d levels\n" t.n_sccs t.n_levels);
+  (match t.cycles with
+   | [] -> Buffer.add_string buf "recursion cycles: none\n"
+   | cycles ->
+     Buffer.add_string buf
+       (Printf.sprintf "recursion cycles: %d\n" (List.length cycles));
+     List.iter
+       (fun cycle ->
+         Buffer.add_string buf
+           (Printf.sprintf "  - %s -> %s\n"
+              (String.concat " -> " cycle)
+              (List.hd cycle)))
+       cycles);
+  Buffer.add_string buf
+    (Printf.sprintf "worst-case call depth: %s\nworst-case stack bound: %s words\n"
+       (render_depth t.max_call_depth)
+       (render_depth t.max_stack_words));
+  let pure =
+    List.length (List.filter (fun s -> s.s_pure) t.summaries)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "side effects: %d of %d functions pure\n" pure
+       (List.length t.summaries));
+  (match t.uninit_flows with
+   | [] ->
+     Buffer.add_string buf "cross-call uninitialized flows: none\n"
+   | flows ->
+     Buffer.add_string buf
+       (Printf.sprintf "cross-call uninitialized flows: %d\n"
+          (List.length flows));
+     List.iter
+       (fun f ->
+         Buffer.add_string buf
+           (Printf.sprintf "  - %s:%d %s in %s (callee %s never initializes)\n"
+              f.ip_use_loc.Cfront.Loc.file f.ip_use_loc.Cfront.Loc.line
+              f.ip_var f.ip_function f.ip_callee))
+       flows);
+  Buffer.contents buf
+
 let render_coverage ~title (files : Coverage.Collector.file_coverage list) =
   let tbl =
     Util.Table.make ~title

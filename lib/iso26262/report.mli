@@ -24,6 +24,15 @@ val dataflow_table : Project_metrics.t -> Util.Table.t
 
 val render_dataflow : Project_metrics.t -> string
 
+(** Per-module global-coupling counts (declared / read / written /
+    shared) from the whole-program summary engine, with a totals row. *)
+val interproc_table : Interproc.Summary.t -> Util.Table.t
+
+(** Coupling table plus call-graph resolution accounting, recursion
+    cycles, worst-case call depth / stack bound, purity and cross-call
+    uninitialized flows. *)
+val render_interproc : Interproc.Summary.t -> string
+
 (** A Figure 5/6-style coverage table (statement, branch, MC/DC,
     function coverage, excluded functions) plus the averages line. *)
 val render_coverage :

@@ -44,6 +44,21 @@ val trace : Assess.finding list -> goal_trace list
 (** The traceability matrix as a text table, with the per-goal roll-up. *)
 val render : goal_trace list -> string
 
+(** One row of the analysis → clause matrix: which analysis produced
+    which measured evidence for which ISO 26262 Part 6 clause. *)
+type tool_evidence = {
+  te_analysis : string;
+  te_clause : string;
+  te_evidence : string;
+}
+
+(** Whole-program evidence rows (recursion, stack bound, global
+    coupling, cross-call initialization, call-resolution confidence)
+    traced to their ISO 26262 clauses. *)
+val tool_evidence_matrix : Project_metrics.t -> tool_evidence list
+
+val render_tool_evidence : Project_metrics.t -> string
+
 (** Requirements allocated to components that do not exist in the audited
     project — a traceability defect in itself. *)
 val unallocated_requirements : Project_metrics.t -> software_requirement list

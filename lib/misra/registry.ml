@@ -10,7 +10,10 @@ let cuda_rules = Rules_cuda.all
     conditions) built on the dataflow engine. *)
 let dataflow_rules = Rules_dataflow.all
 
-let all_rules = c_rules @ cuda_rules @ dataflow_rules
+(** Whole-program rules built on the interprocedural summary engine. *)
+let interproc_rules = Rules_interproc.all
+
+let all_rules = c_rules @ cuda_rules @ dataflow_rules @ interproc_rules
 
 let find_rule id = List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) all_rules
 

@@ -34,11 +34,21 @@ let r17_1 =
 let r17_2 =
   Rule.make ~id:"17.2" ~title:"no recursion" ~category:Rule.Required (fun ctx ->
       let recursive = Callgraph.recursive_functions ctx.Rule.callgraph in
+      let cycles = Callgraph.recursion_cycles ctx.Rule.callgraph in
+      let witness q =
+        match List.find_opt (fun c -> List.mem q c) cycles with
+        | Some [ _ ] | None -> "calls itself"
+        | Some cycle ->
+          Printf.sprintf "cycle: %s -> %s" (String.concat " -> " cycle)
+            (List.hd cycle)
+      in
       List.filter_map
         (fun (fn : Ast.func) ->
           let q = Ast.qualified_name fn in
           if List.mem q recursive then
-            Some (Rule.v ~rule_id:"17.2" ~loc:fn.Ast.f_loc "%s is recursive" q)
+            Some
+              (Rule.v ~rule_id:"17.2" ~loc:fn.Ast.f_loc "%s is recursive (%s)" q
+                 (witness q))
           else None)
         ctx.Rule.functions)
 

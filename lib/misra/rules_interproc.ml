@@ -1,0 +1,25 @@
+(** Extended rules built on the whole-program summary engine
+    ({!Interproc.Summary}).  Like the DF-* family these carry ids
+    outside the MISRA C:2012 numbering:
+
+    - IP-1: no uninitialized value may flow through a call — [&x] passed
+      to a callee that provably never initializes the pointee does not
+      count as initialization of [x], closing the hole rule 9.1's
+      intraprocedural analysis leaves open (address-taking
+      conservatively initializes there).  Findings are disjoint from
+      9.1's by construction. *)
+
+let ip1 =
+  Rule.make ~id:"IP-1" ~title:"no uninitialized values across calls"
+    ~category:Rule.Required (fun ctx ->
+      let t = Interproc.Summary.of_files ctx.Rule.files in
+      List.map
+        (fun (f : Interproc.Summary.uninit_flow) ->
+          Rule.v ~rule_id:"IP-1" ~loc:f.Interproc.Summary.ip_use_loc
+            "%s may be read uninitialized in %s: &%s was passed to %s (line %d), which never initializes it"
+            f.Interproc.Summary.ip_var f.Interproc.Summary.ip_function
+            f.Interproc.Summary.ip_var f.Interproc.Summary.ip_callee
+            f.Interproc.Summary.ip_call_loc.Cfront.Loc.line)
+        t.Interproc.Summary.uninit_flows)
+
+let all = [ ip1 ]

@@ -396,7 +396,7 @@ let test_stats_golden_small_corpus () =
   let counters = find_table "telemetry: counters" tables in
   Alcotest.(check string) "corpus.modules" "9" (row_value counters "corpus.modules");
   Alcotest.(check string) "parse.files" "16" (row_value counters "parse.files");
-  Alcotest.(check string) "misra.rules_checked" "67"
+  Alcotest.(check string) "misra.rules_checked" "68"
     (row_value counters "misra.rules_checked");
   List.iter
     (fun key ->
