@@ -1,4 +1,4 @@
-.PHONY: all build test check check-par bench clean
+.PHONY: all build test check check-par bench bench-diff clean
 
 all: build
 
@@ -9,20 +9,29 @@ test:
 	dune runtest
 
 # Full gate: build (including the bench executable), unit tests, the
-# parallel sweep, and an adcheck dataflow smoke run on the small corpus
-# (exercises generator -> parser -> CFG -> fixpoint -> report).
+# parallel sweep, an adcheck dataflow smoke run on the small corpus
+# (exercises generator -> parser -> CFG -> fixpoint -> report), and a
+# bench-diff self-compare of a freshly exported adcheck-metrics/1
+# record (a record that fails to self-compare means the exporter or
+# the gate's schema reader regressed).
 check: build test check-par
 	dune build bench/main.exe
-	dune exec bin/adcheck.exe -- dataflow --scale small
+	dune exec bin/adcheck.exe -- dataflow --scale small \
+	  --metrics _build/check-metrics.json
+	dune exec bin/adcheck.exe -- bench-diff \
+	  _build/check-metrics.json _build/check-metrics.json
 
 # Run the whole suite under 1, 2 and 8 worker domains.  ADCHECK_JOBS=1
 # is the sequential oracle; any divergence at 2 or 8 is a determinism
 # bug in the pool fan-out or the counter merge.  The suite includes the
 # coverage differential (test_parallel_determinism): the full scenario
 # set replayed in-process at jobs=1/2/4 with byte-identical merged
-# collector fingerprints, so every ADCHECK_JOBS value below re-checks
-# the scenario-parallel merge as well.  --force because dune does not
-# track environment variables as dependencies.
+# collector fingerprints, and the flight-recorder differential
+# (test_flight_recorder): the work-tier adcheck-metrics/1 record —
+# counters AND attributed-timing histogram buckets — byte-identical at
+# jobs=1/2/8 under the tick clock.  Every ADCHECK_JOBS value below
+# re-checks both merges.  --force because dune does not track
+# environment variables as dependencies.
 check-par:
 	for j in 1 2 8; do \
 	  echo "== dune runtest (ADCHECK_JOBS=$$j) =="; \
@@ -40,6 +49,12 @@ check-par:
 # BENCH_4.json sweeps the interprocedural summary engine (SCC-level
 # parallel bottom-up propagation); the interproc.* counters must be
 # identical across the jobs sweep.
+# BENCH_5.json measures the flight recorder itself: the overhead
+# experiment runs the audit with the recorder off and on and records
+# the wall-time ratio in its gauges; METRICS_5.json is the
+# adcheck-metrics/1 record of the same process (counters, attributed
+# timing histograms, GC/pool runtime telemetry) — the committed example
+# of what `adcheck --metrics` and `adcheck bench-diff` consume.
 bench:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --scale small --out BENCH_1.json \
@@ -50,6 +65,18 @@ bench:
 	  scenarios
 	dune exec bench/main.exe -- --scale small --jobs 1,4 --out BENCH_4.json \
 	  interproc
+	dune exec bench/main.exe -- --scale small --out BENCH_5.json \
+	  --metrics METRICS_5.json overhead table1
+
+# Regression gate self-check over the committed records: a record must
+# always be identical to itself, for both schemas the gate reads
+# (adcheck-bench/1 and adcheck-metrics/1).  Run after `make bench` to
+# gate a new record against the committed one, e.g.:
+#   dune exec bin/adcheck.exe -- bench-diff OLD.json NEW.json --fail-on-regress 10
+bench-diff:
+	dune build bin/adcheck.exe
+	dune exec bin/adcheck.exe -- bench-diff BENCH_5.json BENCH_5.json
+	dune exec bin/adcheck.exe -- bench-diff METRICS_5.json METRICS_5.json
 
 clean:
 	dune clean

@@ -17,6 +17,10 @@
                            a fresh audit (default: ADCHECK_JOBS, else 1)
       --out FILE           write per-experiment wall time + telemetry
                            counter snapshots as JSON (e.g. BENCH_1.json)
+      --metrics FILE       write the flight-recorder adcheck-metrics/1
+                           record of the whole run (counters, latency
+                           histograms, GC phases, pool stats); compare
+                           records with `adcheck bench-diff`
 
     Experiment ids follow DESIGN.md's per-experiment index. *)
 
@@ -588,6 +592,34 @@ let run_plan () =
   let a = force_audit () in
   print_string (Iso26262.Cert_plan.render (Iso26262.Cert_plan.build (Iso26262.Audit.all_findings a)))
 
+let run_overhead () =
+  heading "Telemetry overhead - the audit with the flight recorder off vs on";
+  (* Same fresh audit twice: once with the sink disabled (every recording
+     entry point is a single boolean test), once fully enabled.  The
+     prior enabled state is restored afterwards so the experiment doesn't
+     flip recording off for the rest of the bench run, and the result
+    gauges are set after restoring (they'd be dropped while disabled). *)
+  let was_enabled = Telemetry.enabled () in
+  let time_once enabled =
+    Telemetry.set_enabled enabled;
+    reset_audit ();
+    let t0 = Telemetry.now_us () in
+    ignore (force_audit ());
+    (Telemetry.now_us () -. t0) /. 1e3
+  in
+  let disabled_ms = time_once false in
+  let enabled_ms = time_once true in
+  Telemetry.set_enabled was_enabled;
+  reset_audit ();
+  let ratio = enabled_ms /. Float.max 1e-9 disabled_ms in
+  Telemetry.set_gauge "bench.overhead.disabled_ms" disabled_ms;
+  Telemetry.set_gauge "bench.overhead.enabled_ms" enabled_ms;
+  Telemetry.set_gauge "bench.overhead.ratio" ratio;
+  Printf.printf
+    "audit wall time: %.1f ms recorder off, %.1f ms recorder on (%.3fx)\n\
+     (spans, counters, histograms, GC phases and pool metrics all recording)\n"
+    disabled_ms enabled_ms ratio
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
@@ -721,6 +753,7 @@ let experiments =
     ("scenarios", run_scenarios);
     ("interproc", run_interproc);
     ("plan", run_plan);
+    ("overhead", run_overhead);
     ("micro", run_micro);
   ]
 
@@ -782,6 +815,7 @@ let write_bench_json ~path ~scale ~seed ~jobs_list results =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let out = ref None in
+  let metrics_out = ref None in
   let jobs_list = ref [ Util.Pool.default_jobs () ] in
   let names = ref [] in
   let usage_fail fmt =
@@ -807,6 +841,9 @@ let () =
     | "--out" :: v :: rest ->
       out := Some v;
       parse_args rest
+    | "--metrics" :: v :: rest ->
+      metrics_out := Some v;
+      parse_args rest
     | "--jobs" :: v :: rest ->
       (match
          List.map int_of_string_opt (String.split_on_char ',' v)
@@ -820,10 +857,12 @@ let () =
        | Some (_ :: _ as js) -> jobs_list := List.rev js
        | _ -> usage_fail "--jobs expects a comma-separated list of ints >= 1, got %s" v);
       parse_args rest
-    | [ ("--scale" | "--seed" | "--out" | "--jobs") as flag ] ->
+    | [ ("--scale" | "--seed" | "--out" | "--jobs" | "--metrics") as flag ] ->
       usage_fail "%s expects an argument" flag
     | opt :: _ when String.length opt >= 2 && String.sub opt 0 2 = "--" ->
-      usage_fail "unknown option %s (valid: --scale, --seed, --jobs, --out)" opt
+      usage_fail
+        "unknown option %s (valid: --scale, --seed, --jobs, --out, --metrics)"
+        opt
     | name :: rest ->
       names := name :: !names;
       parse_args rest
@@ -837,7 +876,7 @@ let () =
      usage_fail "unknown experiment%s %s (valid: %s)"
        (if List.length unknown > 1 then "s" else "")
        (String.concat ", " unknown) (valid_names ()));
-  if !out <> None then Telemetry.set_enabled true;
+  if !out <> None || !metrics_out <> None then Telemetry.set_enabled true;
   (* One pass per --jobs value, each against a fresh audit so the sweep
      actually exercises the parallel stages rather than reusing the
      first pass's cached artifacts.  Counter deltas come from the
@@ -860,9 +899,14 @@ let () =
           selected)
       !jobs_list
   in
-  match !out with
+  (match !out with
+   | None -> ()
+   | Some path ->
+     write_bench_json ~path ~scale:!bench_scale ~seed:!bench_seed
+       ~jobs_list:!jobs_list results;
+     Util.Log.info "wrote %s" path);
+  match !metrics_out with
   | None -> ()
   | Some path ->
-    write_bench_json ~path ~scale:!bench_scale ~seed:!bench_seed
-      ~jobs_list:!jobs_list results;
+    Telemetry.write_metrics ~path ();
     Util.Log.info "wrote %s" path

@@ -47,27 +47,40 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Write the flight-recorder metrics of the run (counters, latency \
+     histograms, per-phase GC deltas, pool utilization) to $(docv) as \
+     adcheck-metrics/1 JSON — the record $(b,adcheck bench-diff) compares."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 (** Bundle of the global instrumentation/concurrency flags, shared by
     every subcommand. *)
 let telemetry_term =
   Term.(
-    const (fun trace stats verbose jobs -> (trace, stats, verbose, jobs))
-    $ trace_arg $ stats_arg $ verbose_arg $ jobs_arg)
+    const (fun trace stats metrics verbose jobs -> (trace, stats, metrics, verbose, jobs))
+    $ trace_arg $ stats_arg $ metrics_arg $ verbose_arg $ jobs_arg)
 
 (** Run [f] under a per-subcommand telemetry span; afterwards write the
-    Chrome trace and/or print the stats tables when requested.  The
-    exporters run even if [f] raises, so a failed run still leaves a
-    trace to look at. *)
-let with_telemetry ~cmd (trace, stats, verbose, jobs) f =
+    Chrome trace, the metrics record and/or print the stats tables when
+    requested.  The exporters run even if [f] raises, so a failed run
+    still leaves a trace to look at. *)
+let with_telemetry ~cmd (trace, stats, metrics, verbose, jobs) f =
   if verbose && Util.Log.level () = Util.Log.Warn then
     Util.Log.set_level Util.Log.Info;
   Option.iter Util.Pool.set_default_jobs jobs;
-  if trace <> None || stats then Telemetry.set_enabled true;
+  if trace <> None || metrics <> None || stats then Telemetry.set_enabled true;
   let finish () =
     (match trace with
      | Some path ->
        Telemetry.write_chrome_trace ~path;
        Util.Log.info "wrote Chrome trace to %s" path
+     | None -> ());
+    (match metrics with
+     | Some path ->
+       Telemetry.write_metrics ~path ();
+       Util.Log.info "wrote metrics to %s" path
      | None -> ());
     if stats then print_string (Telemetry.render_stats ())
   in
@@ -603,6 +616,45 @@ let faults_cmd =
   let doc = "Run the fault-injection scenarios (invalid inputs against the YOLO entry points)." in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ telemetry_term)
 
+(* ------------------------------------------------------------------ *)
+(* bench-diff: the performance regression gate                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_diff_cmd =
+  let old_arg =
+    let doc = "Baseline record (adcheck-bench/1 or adcheck-metrics/1 JSON)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc)
+  in
+  let new_arg =
+    let doc = "Candidate record to gate (same schema as $(b,OLD))." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc)
+  in
+  let pct_arg =
+    let doc =
+      "Fail when a latency series (experiment wall time, histogram time sum) \
+       grows by more than $(docv) percent over the baseline (and by more than \
+       the per-series absolute noise floor).  Counters always compare exactly."
+    in
+    Arg.(value & opt float 10.0 & info [ "fail-on-regress" ] ~docv:"PCT" ~doc)
+  in
+  let run old_path new_path pct =
+    match (Benchdiff.load old_path, Benchdiff.load new_path) with
+    | Error e, _ | _, Error e ->
+      Util.Log.error "%s" e;
+      exit 2
+    | Ok old_r, Ok new_r ->
+      let findings = Benchdiff.diff ~fail_on_regress_pct:pct old_r new_r in
+      print_string (Benchdiff.render findings);
+      if not (Benchdiff.ok findings) then exit 1
+  in
+  let doc =
+    "Compare two performance records and fail on regression: counters and \
+     histogram bucket contents exactly, latencies with a threshold.  Exit \
+     status 0 when clean, 1 on findings, 2 on unreadable records."
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc)
+    Term.(const run $ old_arg $ new_arg $ pct_arg)
+
 let () =
   let doc = "ISO 26262 software-guideline assessment for AD software (DAC 2019 reproduction)" in
   let info = Cmd.info "adcheck" ~version:"1.0.0" ~doc in
@@ -611,4 +663,4 @@ let () =
        (Cmd.group info
           [ audit_cmd; complexity_cmd; misra_cmd; dataflow_cmd; coverage_cmd;
             gpuperf_cmd; corpus_cmd; check_cmd; callgraph_cmd; interproc_cmd;
-            wcet_cmd; brook_cmd; faults_cmd ]))
+            wcet_cmd; brook_cmd; faults_cmd; bench_diff_cmd ]))

@@ -75,7 +75,13 @@ let parse t =
   let files =
     Telemetry.parallel_map
       (fun f ->
-        { file = f; tu = Parser.parse_file ~extra_types ~file:f.path f.content })
+        let pf =
+          Telemetry.timed "parse.file_us" @@ fun () ->
+          { file = f; tu = Parser.parse_file ~extra_types ~file:f.path f.content }
+        in
+        Telemetry.observe "parse.file_ast_nodes"
+          (float_of_int (pf.tu.Ast.n_exprs + pf.tu.Ast.n_stmts));
+        pf)
       (all_files t)
   in
   let n_files = List.length files in

@@ -34,6 +34,9 @@ let run_one sc =
       ()
   in
   let results =
+    (* timed region innermost (inside the span) so the tick count is the
+       same at every --jobs value; interpretation makes no clock reads *)
+    Telemetry.timed ("coverage.scenario_us." ^ sc.sc_name) @@ fun () ->
     match sc.sc_entries with
     | [] -> []
     | first :: rest ->
@@ -41,6 +44,9 @@ let run_one sc =
       (first, Interp.run env sc.sc_tus ~entry:first ~args:[])
       :: Interp.run_entries env ~entries:rest
   in
+  Telemetry.observe "coverage.scenario_stmts"
+    (float_of_int
+       (Hashtbl.fold (fun _ n acc -> acc + n) collector.Collector.stmt_hits 0));
   {
     o_name = sc.sc_name;
     o_collector = collector;

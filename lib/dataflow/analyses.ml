@@ -517,7 +517,9 @@ let summarize_func (fn : Ast.func) =
   match fn.Ast.f_body with
   | None -> None
   | Some _ ->
+    Telemetry.timed "dataflow.fn_us" @@ fun () ->
     let cfg = Cfg.of_func fn in
+    Telemetry.observe "dataflow.fn_blocks" (float_of_int (Cfg.n_blocks cfg));
     Some
       {
         s_function = Ast.qualified_name fn;

@@ -40,16 +40,23 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
     ~attrs:[ ("seed", string_of_int seed);
              ("modules", string_of_int (List.length specs)) ]
   @@ fun () ->
-  let project = Corpus.Generator.generate ~seed specs in
-  let parsed = Cfront.Project.parse project in
+  (* [gc_phase] wraps each pipeline stage: runtime-tier GC deltas and
+     phase wall time per stage (who allocates, who collects), without
+     touching the deterministic work-tier data recorded inside. *)
+  let project =
+    Telemetry.gc_phase "corpus" (fun () -> Corpus.Generator.generate ~seed specs)
+  in
+  let parsed = Telemetry.gc_phase "parse" (fun () -> Cfront.Project.parse project) in
   let metrics, (yolo_coverage, yolo_run_output, yolo_exit),
       (stencil_coverage, stencil_exit) =
     match Util.Pool.global () with
     | None ->
       (* jobs=1: the exact sequential oracle, phase after phase. *)
-      let metrics = Project_metrics.of_parsed parsed in
-      let yolo = run_yolo_coverage () in
-      let stencil = run_stencil_coverage () in
+      let metrics =
+        Telemetry.gc_phase "metrics" (fun () -> Project_metrics.of_parsed parsed)
+      in
+      let yolo = Telemetry.gc_phase "coverage.yolo" run_yolo_coverage in
+      let stencil = Telemetry.gc_phase "coverage.stencil" run_stencil_coverage in
       (metrics, yolo, stencil)
     | Some pool ->
       (* Pipelined phases: the corpus parse above is the shared prefix;
@@ -59,20 +66,33 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
          [parsed] and merge into telemetry counters (mutex-protected
          sums, so totals are independent of interleaving); spans emitted
          on workers carry the worker's domain id and overlap in a
-         [--trace] timeline. *)
+         [--trace] timeline.  GC deltas attribute each worker phase's
+         allocation to its name (quick_stat is per-domain in OCaml 5's
+         minor-heap counters, per-process in the major ones — a pragmatic
+         attribution, flagged runtime-tier for exactly that reason). *)
       let f_misra =
-        Util.Pool.submit pool (fun () -> Project_metrics.misra_of_parsed parsed)
+        Util.Pool.submit pool (fun () ->
+            Telemetry.gc_phase "misra" (fun () ->
+                Project_metrics.misra_of_parsed parsed))
       in
       let f_dataflow =
         Util.Pool.submit pool (fun () ->
-            Project_metrics.module_dataflow_of_parsed parsed)
+            Telemetry.gc_phase "dataflow" (fun () ->
+                Project_metrics.module_dataflow_of_parsed parsed))
       in
-      let f_yolo = Util.Pool.submit pool run_yolo_coverage in
-      let f_stencil = Util.Pool.submit pool run_stencil_coverage in
+      let f_yolo =
+        Util.Pool.submit pool (fun () ->
+            Telemetry.gc_phase "coverage.yolo" run_yolo_coverage)
+      in
+      let f_stencil =
+        Util.Pool.submit pool (fun () ->
+            Telemetry.gc_phase "coverage.stencil" run_stencil_coverage)
+      in
       let metrics =
-        Project_metrics.of_parsed_with
-          ~misra:(fun () -> Util.Pool.await f_misra)
-          ~module_dataflow:(Util.Pool.await f_dataflow) parsed
+        Telemetry.gc_phase "metrics" (fun () ->
+            Project_metrics.of_parsed_with
+              ~misra:(fun () -> Util.Pool.await f_misra)
+              ~module_dataflow:(Util.Pool.await f_dataflow) parsed)
       in
       (metrics, Util.Pool.await f_yolo, Util.Pool.await f_stencil)
   in

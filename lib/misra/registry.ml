@@ -81,9 +81,16 @@ let run ?(rules = all_rules) ?(deviations = []) ctx =
           (fun (r : Rule.t) ->
             let vs =
               Telemetry.with_span ~cat:"misra" ("misra.rule." ^ r.Rule.id)
-                (fun () -> r.Rule.check ctx)
+                (fun () ->
+                  (* timed region innermost so the measured ticks are the
+                     same whether the span is live (jobs=1) or suppressed
+                     on a worker (jobs>1) *)
+                  Telemetry.timed ("misra.rule_us." ^ r.Rule.id)
+                    (fun () -> r.Rule.check ctx))
             in
             Telemetry.add ("misra.violations." ^ r.Rule.id) (List.length vs);
+            Telemetry.observe "misra.rule_violations"
+              (float_of_int (List.length vs));
             (r, vs))
           rules
       in

@@ -4,22 +4,59 @@
 (* Clock                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let wall_clock () = Unix.gettimeofday ()
+(* The clock yields microseconds directly: under the tick clock the
+   readings are small integers, which float subtraction differences
+   exactly — a seconds-based clock scaled by 1e6 would round and smear
+   one-tick durations across two adjacent histogram buckets. *)
+let wall_clock () = Unix.gettimeofday () *. 1e6
 
 let clock = ref wall_clock
 
-let now_us () = !clock () *. 1e6
+(* Spans read a clock of their own.  Under the wall clock the two are
+   the same source; under the tick clock they are independent streams,
+   because span creation is conditional on the domain (suppressed while
+   a worker buffers metrics): if span bookkeeping consumed work-tier
+   ticks, a timed region whose body opens a span would measure three
+   ticks sequentially and one tick on a worker — exactly the
+   jobs-dependence the tick clock exists to rule out. *)
+let span_clock = ref wall_clock
 
-let set_clock c = clock := c
+let now_us () = !clock ()
+let span_now_us () = !span_clock ()
+
+let set_clock c =
+  clock := c;
+  span_clock := c
 
 let install_tick_clock ?(step_us = 1.0) () =
-  let t = ref (-.step_us) in
-  clock :=
+  (* One tick counter per domain: a clock read on a worker domain must
+     not perturb main-domain timestamps (or vice versa), so that a timed
+     region's duration depends only on the clock reads made *inside* the
+     region on its own domain.  That is what makes attributed-timing
+     histogram samples identical at every --jobs value: a region with no
+     nested reads always measures exactly one tick, wherever it ran. *)
+  let tick_stream () =
+    let key = Domain.DLS.new_key (fun () -> ref (-.step_us)) in
     fun () ->
+      let t = Domain.DLS.get key in
       t := !t +. step_us;
-      !t /. 1e6
+      !t
+  in
+  clock := tick_stream ();
+  span_clock := tick_stream ()
 
-let use_wall_clock () = clock := wall_clock
+let use_wall_clock () =
+  clock := wall_clock;
+  span_clock := wall_clock
+
+(* The pool's queue-wait/task-latency instrumentation always reads the
+   wall clock, never the pluggable one: pool metrics are runtime-tier
+   (excluded from the cross-jobs oracle), and under the tick clock any
+   pool read on a worker domain would advance that domain's tick counter
+   and perturb the work-tier timed regions running there.  Top-level
+   effect: runs when the telemetry library is linked (every executable
+   here). *)
+let () = Util.Pool.set_clock wall_clock
 
 (* ------------------------------------------------------------------ *)
 (* Sink state                                                          *)
@@ -58,17 +95,44 @@ let events_rev : event list ref = ref []
 let open_depth = ref 0
 let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
 let gauges_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+let hists_tbl : (string, Util.Histogram.t) Hashtbl.t = Hashtbl.create 32
 
-(* Per-domain counter buffer.  When a buffer is installed (pool workers
-   running under [collect_counters]) counter adds go to the buffer
-   without touching the global mutex, and span creation is suppressed —
-   the caller merges buffers deterministically in submission order.
-   Buffers nest: an inner [collect_counters] shadows the outer one and
-   [absorb_counters] feeds the outer buffer. *)
-let local_counters : (string, int) Hashtbl.t option Domain.DLS.key =
+(** GC cost per named phase (deltas of [Gc.quick_stat] around the
+    phase body), summed when a phase repeats. *)
+type gc_delta = {
+  gd_minor_words : float;
+  gd_promoted_words : float;
+  gd_major_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+  gd_compactions : int;
+}
+
+let gc_tbl : (string, gc_delta) Hashtbl.t = Hashtbl.create 16
+
+(* Per-domain metric buffer.  When a buffer is installed (pool workers
+   running under [collect_metrics]) counter adds and histogram samples
+   go to the buffer without touching the global mutex, and span creation
+   is suppressed — the caller merges buffers deterministically in
+   submission order (counter merge is integer addition, histogram merge
+   is per-bucket addition; both commutative and associative, so merged
+   state is identical to the sequential run).  Buffers nest: an inner
+   [collect_metrics] shadows the outer one and [absorb_metrics] feeds
+   whichever sink is active. *)
+type buffer = {
+  buf_counters : (string, int) Hashtbl.t;
+  buf_hists : (string, Util.Histogram.t) Hashtbl.t;
+}
+
+let local_buf : buffer option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
-let set_enabled b = on := b
+let set_enabled b =
+  on := b;
+  (* the pool's flight-recorder gate follows the sink switch, so the
+     telemetry-overhead experiment compares truly-off against fully-on *)
+  Util.Pool.set_metrics b
+
 let enabled () = !on
 
 let reset () =
@@ -76,7 +140,9 @@ let reset () =
       events_rev := [];
       open_depth := 0;
       Hashtbl.reset counters_tbl;
-      Hashtbl.reset gauges_tbl)
+      Hashtbl.reset gauges_tbl;
+      Hashtbl.reset hists_tbl;
+      Hashtbl.reset gc_tbl)
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -87,11 +153,11 @@ let inert_span =
     sp_attrs = []; sp_closed = true }
 
 let start_span ?(cat = "adcheck") ?(attrs = []) name =
-  if (not !on) || Domain.DLS.get local_counters <> None then inert_span
+  if (not !on) || Domain.DLS.get local_buf <> None then inert_span
   else
     locked (fun () ->
         let sp =
-          { sp_name = name; sp_cat = cat; sp_start_us = now_us ();
+          { sp_name = name; sp_cat = cat; sp_start_us = span_now_us ();
             sp_depth = !open_depth; sp_tid = (Domain.self () :> int);
             sp_attrs = attrs; sp_closed = false }
         in
@@ -105,7 +171,7 @@ let end_span ?(attrs = []) sp =
     locked (fun () ->
         sp.sp_closed <- true;
         open_depth := Stdlib.max 0 (!open_depth - 1);
-        let stop = now_us () in
+        let stop = span_now_us () in
         events_rev :=
           { ev_name = sp.sp_name; ev_cat = sp.sp_cat;
             ev_start_us = sp.sp_start_us;
@@ -131,8 +197,8 @@ let bump tbl name by =
 
 let add name by =
   if !on && by <> 0 then
-    match Domain.DLS.get local_counters with
-    | Some tbl -> bump tbl name by
+    match Domain.DLS.get local_buf with
+    | Some b -> bump b.buf_counters name by
     | None -> locked (fun () -> bump counters_tbl name by)
 
 let incr ?(by = 1) name = add name by
@@ -147,23 +213,107 @@ let max_gauge name v =
         | _ -> Hashtbl.replace gauges_tbl name v)
 
 (* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let hist_of tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some h -> h
+  | None ->
+    let h = Util.Histogram.create () in
+    Hashtbl.add tbl name h;
+    h
+
+let observe name v =
+  if !on then
+    match Domain.DLS.get local_buf with
+    | Some b -> Util.Histogram.observe (hist_of b.buf_hists name) v
+    | None -> locked (fun () -> Util.Histogram.observe (hist_of hists_tbl name) v)
+
+let timed name f =
+  if not !on then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect ~finally:(fun () -> observe name (now_us () -. t0)) f
+  end
+
+(* GC sampling around a named phase: quick_stat deltas (minor/major/
+   promoted words, collection and compaction counts) accumulated per
+   phase name, plus the phase wall time as a "phase.<name>_us" histogram
+   sample.  Both are runtime telemetry — worker placement and allocation
+   rates legitimately vary with --jobs — and live outside the
+   deterministic oracle sections of the metrics export. *)
+let gc_phase name f =
+  if not !on then f ()
+  else begin
+    let t0 = now_us () in
+    let a = Gc.quick_stat () in
+    Fun.protect
+      ~finally:(fun () ->
+        let b = Gc.quick_stat () in
+        observe ("phase." ^ name ^ "_us") (now_us () -. t0);
+        let d =
+          { gd_minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+            gd_promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+            gd_major_words = b.Gc.major_words -. a.Gc.major_words;
+            gd_minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+            gd_major_collections = b.Gc.major_collections - a.Gc.major_collections;
+            gd_compactions = b.Gc.compactions - a.Gc.compactions }
+        in
+        locked (fun () ->
+            let d =
+              match Hashtbl.find_opt gc_tbl name with
+              | None -> d
+              | Some p ->
+                { gd_minor_words = p.gd_minor_words +. d.gd_minor_words;
+                  gd_promoted_words = p.gd_promoted_words +. d.gd_promoted_words;
+                  gd_major_words = p.gd_major_words +. d.gd_major_words;
+                  gd_minor_collections =
+                    p.gd_minor_collections + d.gd_minor_collections;
+                  gd_major_collections =
+                    p.gd_major_collections + d.gd_major_collections;
+                  gd_compactions = p.gd_compactions + d.gd_compactions }
+            in
+            Hashtbl.replace gc_tbl name d))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Per-domain aggregation and the parallel map veneer                  *)
 (* ------------------------------------------------------------------ *)
 
-let collect_counters f =
-  let prev = Domain.DLS.get local_counters in
-  let tbl = Hashtbl.create 32 in
-  Domain.DLS.set local_counters (Some tbl);
-  let finish () = Domain.DLS.set local_counters prev in
+type batch = {
+  batch_counters : (string * int) list;
+  batch_hists : (string * Util.Histogram.t) list;
+}
+
+let collect_metrics f =
+  let prev = Domain.DLS.get local_buf in
+  let buf = { buf_counters = Hashtbl.create 32; buf_hists = Hashtbl.create 8 } in
+  Domain.DLS.set local_buf (Some buf);
+  let finish () = Domain.DLS.set local_buf prev in
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
   match f () with
   | v ->
     finish ();
-    (v, List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []))
+    (v, { batch_counters = sorted buf.buf_counters;
+          batch_hists = sorted buf.buf_hists })
   | exception e ->
     finish ();
     raise e
 
-let absorb_counters kvs = List.iter (fun (k, n) -> add k n) kvs
+let absorb_metrics b =
+  List.iter (fun (k, n) -> add k n) b.batch_counters;
+  if !on then
+    List.iter
+      (fun (name, h) ->
+        match Domain.DLS.get local_buf with
+        | Some buf ->
+          Util.Histogram.merge_into ~into:(hist_of buf.buf_hists name) h
+        | None ->
+          locked (fun () ->
+              Util.Histogram.merge_into ~into:(hist_of hists_tbl name) h))
+      b.batch_hists
 
 let parallel_map ?chunk_size f xs =
   match Util.Pool.global () with
@@ -171,12 +321,12 @@ let parallel_map ?chunk_size f xs =
   | Some pool ->
     let tagged =
       Util.Pool.map_chunked ?chunk_size pool
-        (fun x -> collect_counters (fun () -> f x))
+        (fun x -> collect_metrics (fun () -> f x))
         xs
     in
     List.map
-      (fun (y, kvs) ->
-        absorb_counters kvs;
+      (fun (y, batch) ->
+        absorb_metrics batch;
         y)
       tagged
 
@@ -213,6 +363,31 @@ let counters_since snap =
 let gauges () =
   locked (fun () ->
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges_tbl []))
+
+let histograms () =
+  locked (fun () ->
+      List.sort compare
+        (Hashtbl.fold
+           (fun k h acc -> (k, Util.Histogram.copy h) :: acc)
+           hists_tbl []))
+
+let histogram name =
+  locked (fun () -> Option.map Util.Histogram.copy (Hashtbl.find_opt hists_tbl name))
+
+let gc_phases () =
+  locked (fun () ->
+      List.sort compare (Hashtbl.fold (fun k d acc -> (k, d) :: acc) gc_tbl []))
+
+(* Runtime-tier metric names: legitimately dependent on --jobs and
+   scheduling (worker placement, queue waits, GC pressure, phase wall
+   time under span suppression).  Everything else is work-tier and must
+   be byte-identical across jobs under the tick clock — the differential
+   tests compare [metrics_json ~runtime:false] outputs directly. *)
+let is_runtime_metric name =
+  let has_prefix p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "pool." || has_prefix "gc." || has_prefix "phase."
 
 let top_counters ~prefix n =
   let p = String.length prefix in
@@ -254,7 +429,20 @@ let json_num f =
   else Printf.sprintf "%g" f
 
 let chrome_trace () =
-  let evs = events () in
+  (* Export order is (ts, tid, name): ties on timestamp (common under the
+     tick clock, where distinct domains read distinct counters) resolve
+     by thread id then name, so two runs of the same workload serialize
+     events identically and traces diff cleanly. *)
+  let evs =
+    List.stable_sort
+      (fun a b ->
+        let c = compare a.ev_start_us b.ev_start_us in
+        if c <> 0 then c
+        else
+          let c = compare a.ev_tid b.ev_tid in
+          if c <> 0 then c else compare a.ev_name b.ev_name)
+      (events ())
+  in
   let base =
     match evs with [] -> 0.0 | e :: _ -> e.ev_start_us
   in
@@ -299,6 +487,100 @@ let chrome_trace () =
 let write_chrome_trace ~path =
   let oc = open_out path in
   output_string oc (chrome_trace ());
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* adcheck-metrics/1                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let hist_json h =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"count\":%d,\"zeros\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"buckets\":["
+       (Util.Histogram.count h) (Util.Histogram.zeros h)
+       (json_num (Util.Histogram.sum h))
+       (json_num (Util.Histogram.min_value h))
+       (json_num (Util.Histogram.max_value h))
+       (json_num (Util.Histogram.p50 h))
+       (json_num (Util.Histogram.p90 h))
+       (json_num (Util.Histogram.p99 h)));
+  List.iteri
+    (fun i (idx, c) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "[%d,%d]" idx c))
+    (Util.Histogram.buckets h);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let obj_of b ~name entries render =
+  Buffer.add_string b (Printf.sprintf "\"%s\":{" name);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape k) (render v)))
+    entries;
+  Buffer.add_char b '}'
+
+(* The machine-readable flight-recorder export.  [runtime:false] yields
+   only the deterministic sections — schema, work-tier counters and
+   histograms — whose bytes the jobs differential compares; the default
+   adds the "runtime" section (jobs, gauges, runtime-tier histograms,
+   per-phase GC deltas, pool stats), which varies across --jobs and
+   wall-clock runs by design. *)
+let metrics_json ?(runtime = true) () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"adcheck-metrics/1\",";
+  let work_counters, _ = List.partition (fun (k, _) -> not (is_runtime_metric k)) (counters ()) in
+  let work_hists, run_hists =
+    List.partition (fun (k, _) -> not (is_runtime_metric k)) (histograms ())
+  in
+  obj_of b ~name:"counters" work_counters string_of_int;
+  Buffer.add_char b ',';
+  obj_of b ~name:"histograms" work_hists hist_json;
+  if runtime then begin
+    Buffer.add_string b ",\"runtime\":{";
+    Buffer.add_string b
+      (Printf.sprintf "\"jobs\":%d," (Util.Pool.default_jobs ()));
+    obj_of b ~name:"gauges" (gauges ()) json_num;
+    Buffer.add_char b ',';
+    obj_of b ~name:"histograms" run_hists hist_json;
+    Buffer.add_char b ',';
+    obj_of b ~name:"gc" (gc_phases ()) (fun d ->
+        Printf.sprintf
+          "{\"minor_words\":%s,\"promoted_words\":%s,\"major_words\":%s,\"minor_collections\":%d,\"major_collections\":%d,\"compactions\":%d}"
+          (json_num d.gd_minor_words) (json_num d.gd_promoted_words)
+          (json_num d.gd_major_words) d.gd_minor_collections
+          d.gd_major_collections d.gd_compactions);
+    (match Util.Pool.global_stats () with
+     | None -> ()
+     | Some st ->
+       Buffer.add_string b
+         (Printf.sprintf
+            ",\"pool\":{\"jobs\":%d,\"submitted\":%d,\"completed\":%d,\"inline\":%d,\"since_us\":%s,\"workers\":["
+            st.Util.Pool.st_jobs st.Util.Pool.st_submitted
+            st.Util.Pool.st_completed st.Util.Pool.st_inline
+            (json_num st.Util.Pool.st_since_us));
+       List.iteri
+         (fun i (id, tasks, busy) ->
+           if i > 0 then Buffer.add_char b ',';
+           Buffer.add_string b
+             (Printf.sprintf "{\"id\":%d,\"tasks\":%d,\"busy_us\":%s}" id tasks
+                (json_num busy)))
+         st.Util.Pool.st_workers;
+       Buffer.add_string b "],\"queue_wait\":";
+       Buffer.add_string b (hist_json st.Util.Pool.st_queue_wait);
+       Buffer.add_string b ",\"task_run\":";
+       Buffer.add_string b (hist_json st.Util.Pool.st_task_run);
+       Buffer.add_char b '}');
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write_metrics ?runtime ~path () =
+  let oc = open_out path in
+  output_string oc (metrics_json ?runtime ());
   close_out oc
 
 (* ------------------------------------------------------------------ *)
@@ -375,9 +657,34 @@ let stats_tables () =
          ~aligns:[ Util.Table.Left; Util.Table.Right ] ())
       (gauges ())
   in
+  (* Attributed-timing view, hottest first: answers "which rule /
+     scenario / function dominates" straight from --stats. *)
+  let hist_rows =
+    List.stable_sort
+      (fun (_, a) (_, b) ->
+        compare (Util.Histogram.sum b) (Util.Histogram.sum a))
+      (histograms ())
+  in
+  let hist_tbl =
+    List.fold_left
+      (fun t (name, h) ->
+        Util.Table.add_row t
+          [ name; string_of_int (Util.Histogram.count h);
+            json_num (Util.Histogram.p50 h); json_num (Util.Histogram.p90 h);
+            json_num (Util.Histogram.p99 h);
+            json_num (Util.Histogram.max_value h);
+            json_num (Util.Histogram.sum h) ])
+      (Util.Table.make ~title:"telemetry: histograms"
+         ~header:[ "histogram"; "count"; "p50"; "p90"; "p99"; "max"; "total" ]
+         ~aligns:[ Util.Table.Left; Util.Table.Right; Util.Table.Right;
+                   Util.Table.Right; Util.Table.Right; Util.Table.Right;
+                   Util.Table.Right ]
+         ())
+      hist_rows
+  in
   List.filter
     (fun (t : Util.Table.t) -> t.Util.Table.rows <> [])
-    [ span_tbl; counter_tbl; hot_tbl; gauge_tbl ]
+    [ span_tbl; counter_tbl; hist_tbl; hot_tbl; gauge_tbl ]
 
 let render_stats () =
   String.concat "\n" (List.map Util.Table.render (stats_tables ()))

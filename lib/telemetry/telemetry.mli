@@ -1,12 +1,22 @@
 (** Dependency-free instrumentation: monotonic-clock spans, counters,
-    gauges, and exporters.
+    gauges, histograms, runtime (GC/pool) telemetry, and exporters —
+    the flight recorder.
 
     The library keeps one process-global, mutex-guarded sink.  All
     recording entry points are no-ops until {!set_enabled}[ true], so
     instrumented hot paths pay a single boolean test when telemetry is
-    off.  Two exporters read the sink: {!chrome_trace} emits Chrome
-    trace-event JSON (loadable in [chrome://tracing] / Perfetto) and
-    {!render_stats} prints summary tables via {!Util.Table}.
+    off.  Three exporters read the sink: {!chrome_trace} emits Chrome
+    trace-event JSON (loadable in [chrome://tracing] / Perfetto),
+    {!metrics_json} emits the machine-readable [adcheck-metrics/1]
+    record ([adcheck bench-diff] consumes it), and {!render_stats}
+    prints summary tables via {!Util.Table}.
+
+    Metric names split into two tiers.  Work-tier data (everything not
+    prefixed ["pool."], ["gc."] or ["phase."]) must be byte-identical
+    across [--jobs] values under the tick clock — that is the
+    differential-testing oracle.  Runtime-tier data legitimately varies
+    with scheduling and lives only in the "runtime" section of the
+    metrics export.
 
     The clock is pluggable so tests can make every timestamp
     deterministic ({!install_tick_clock}). *)
@@ -18,11 +28,21 @@
 (** Current time in microseconds from the active clock. *)
 val now_us : unit -> float
 
-(** Install a clock returning seconds (monotonically non-decreasing). *)
+(** Install a clock returning microseconds (monotonically
+    non-decreasing).  Microseconds, not seconds: the tick clock's small
+    integer readings subtract exactly, so a one-tick region is exactly
+    one tick on every domain. *)
 val set_clock : (unit -> float) -> unit
 
 (** Deterministic test clock: each reading advances by [step_us]
-    (default 1.0) starting from 0. *)
+    (default 1.0) starting from 0 — per domain.  Giving every domain its
+    own tick counter makes a timed region's duration a pure function of
+    the clock reads inside the region on its own domain, so
+    attributed-timing histogram samples are identical at every [--jobs]
+    value.  Spans get an independent tick stream: span creation is
+    suppressed on buffering workers, so if spans consumed work-tier
+    ticks, a timed body that opens a span would measure differently
+    sequentially than on a worker. *)
 val install_tick_clock : ?step_us:float -> unit -> unit
 
 (** Restore the default wall clock. *)
@@ -32,11 +52,15 @@ val use_wall_clock : unit -> unit
 (* Sink control                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(** Opens/closes the sink; also mirrors the switch into
+    {!Util.Pool.set_metrics}, so pool instrumentation records exactly
+    when the flight recorder does. *)
 val set_enabled : bool -> unit
+
 val enabled : unit -> bool
 
-(** Drop every recorded event, counter and gauge (leaves the enabled
-    flag and clock untouched). *)
+(** Drop every recorded event, counter, gauge, histogram and GC phase
+    record (leaves the enabled flag and clock untouched). *)
 val reset : unit -> unit
 
 (* ------------------------------------------------------------------ *)
@@ -70,28 +94,90 @@ val set_gauge : string -> float -> unit
 val max_gauge : string -> float -> unit
 
 (* ------------------------------------------------------------------ *)
+(* Histograms and attributed timing                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Record a sample into the named {!Util.Histogram} (buffered on the
+    active per-domain collection when one is installed, else the global
+    sink).  Use integer-valued samples for work-tier metrics so the
+    float [sum] stays exact under any merge association. *)
+val observe : string -> float -> unit
+
+(** [timed name f] runs [f] and records its duration (microseconds from
+    the active clock) as a sample of histogram [name] — the attributed
+    per-rule / per-function / per-scenario timing hook.  Place timed
+    regions innermost (inside spans): under the tick clock a region with
+    no nested clock reads measures exactly one tick on any domain, so
+    the samples are jobs-independent. *)
+val timed : string -> (unit -> 'a) -> 'a
+
+(** GC cost of a named phase: deltas of [Gc.quick_stat] around the
+    body, summed when the phase repeats. *)
+type gc_delta = {
+  gd_minor_words : float;
+  gd_promoted_words : float;
+  gd_major_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+  gd_compactions : int;
+}
+
+(** [gc_phase name f] runs [f], accumulating its GC delta under [name]
+    and its wall time as a ["phase.<name>_us"] histogram sample.  Both
+    are runtime-tier (excluded from the cross-jobs oracle): phase wall
+    time differs between the sequential path (spans read the clock) and
+    the pooled path (spans suppressed on workers). *)
+val gc_phase : string -> (unit -> 'a) -> 'a
+
+(** Recorded GC phases, sorted by name. *)
+val gc_phases : unit -> (string * gc_delta) list
+
+(** All histograms (copies), sorted by name. *)
+val histograms : unit -> (string * Util.Histogram.t) list
+
+(** One histogram by exact name (a copy). *)
+val histogram : string -> Util.Histogram.t option
+
+(** True for runtime-tier metric names (["pool."], ["gc."] or
+    ["phase."] prefixed): excluded from the deterministic sections of
+    {!metrics_json}. *)
+val is_runtime_metric : string -> bool
+
+(* ------------------------------------------------------------------ *)
 (* Per-domain aggregation and parallel mapping                         *)
 (* ------------------------------------------------------------------ *)
 
-(** [collect_counters f] runs [f] with counter increments redirected to
-    a fresh per-domain buffer (no global-sink mutex traffic) and returns
-    the buffered counters, sorted by name, alongside [f]'s result.
-    While the buffer is active span creation is suppressed — worker
-    domains contribute counters only, keeping the event list a
-    single-domain record.  Nests: an inner collection shadows the outer
-    one, and {!absorb_counters} feeds whichever sink is active. *)
-val collect_counters : (unit -> 'a) -> 'a * (string * int) list
+(** Metrics collected on one domain: counters and histograms, each
+    sorted by name.  Counter merge is integer addition and histogram
+    merge is per-bucket addition — both commutative and associative, so
+    absorbing batches in submission order reproduces the sequential
+    sink state exactly. *)
+type batch = {
+  batch_counters : (string * int) list;
+  batch_hists : (string * Util.Histogram.t) list;
+}
 
-(** Add a collected counter batch into the active sink (the global one,
-    or the enclosing collection buffer). *)
-val absorb_counters : (string * int) list -> unit
+(** [collect_metrics f] runs [f] with counter increments and histogram
+    samples redirected to a fresh per-domain buffer (no global-sink
+    mutex traffic) and returns the buffered batch alongside [f]'s
+    result.  While the buffer is active span creation is suppressed —
+    worker domains contribute counters and samples only, keeping the
+    event list a single-domain record.  Nests: an inner collection
+    shadows the outer one, and {!absorb_metrics} feeds whichever sink
+    is active. *)
+val collect_metrics : (unit -> 'a) -> 'a * batch
+
+(** Merge a collected batch into the active sink (the global one, or
+    the enclosing collection buffer). *)
+val absorb_metrics : batch -> unit
 
 (** Order-preserving parallel map over {!Util.Pool.global}.  Each
-    element's counter increments are buffered on its worker domain via
-    {!collect_counters} and merged on the calling domain in input order,
-    so the final counter values are identical to a sequential run.  When
-    the pool default is 1 job this *is* [List.map f xs] — the exact
-    sequential oracle the differential tests compare against. *)
+    element's counters and histogram samples are buffered on its worker
+    domain via {!collect_metrics} and merged on the calling domain in
+    input order, so the final sink state is identical to a sequential
+    run.  When the pool default is 1 job this *is* [List.map f xs] —
+    the exact sequential oracle the differential tests compare
+    against. *)
 val parallel_map : ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (* ------------------------------------------------------------------ *)
@@ -141,17 +227,29 @@ val top_counters : prefix:string -> int -> (string * int) list
 (* ------------------------------------------------------------------ *)
 
 (** Chrome trace-event JSON: complete ("ph":"X") events with timestamps
-    rebased to the earliest span; counters and gauges ride along under
-    "otherData". *)
+    rebased to the earliest span and sorted by (ts, tid, name) so equal
+    workloads serialize identically; counters and gauges ride along
+    under "otherData". *)
 val chrome_trace : unit -> string
 
 val write_chrome_trace : path:string -> unit
+
+(** The [adcheck-metrics/1] record: schema tag, work-tier counters and
+    histograms (deterministic across [--jobs] under the tick clock),
+    and — unless [runtime:false] — a "runtime" section with the jobs
+    value, gauges, runtime-tier histograms, per-phase GC deltas and
+    pool stats.  [runtime:false] is the byte-comparable differential
+    oracle. *)
+val metrics_json : ?runtime:bool -> unit -> string
+
+val write_metrics : ?runtime:bool -> path:string -> unit -> unit
 
 (** Per-name aggregation: (name, count, total_us, max_us), largest
     total first. *)
 val span_summary : unit -> (string * int * float * float) list
 
-(** Summary tables: span aggregation, counters, interpreter
+(** Summary tables: span aggregation, counters, histograms (hottest
+    total first — the "which rule/scenario is hot" view), interpreter
     hot-function profile, gauges — empty tables are omitted. *)
 val stats_tables : unit -> Util.Table.t list
 

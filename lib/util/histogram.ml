@@ -1,0 +1,118 @@
+(** Log-bucketed mergeable histogram.  See histogram.mli. *)
+
+(* Buckets are logarithmic with [sub] sub-buckets per octave: bucket [i]
+   covers [2^(i/sub), 2^((i+1)/sub)), about 19% relative resolution at
+   sub = 4.  The bucket index of a sample is a pure function of the
+   value, so the multiset of bucket counts is independent of observation
+   and merge order — the merge proof obligation (commutativity +
+   associativity) reduces to integer addition per key, exactly like
+   [Coverage.Collector.merge]. *)
+
+let sub = 4
+
+type t = {
+  mutable n : int;
+  mutable sum : float;
+  mutable minv : float;  (** +inf when empty *)
+  mutable maxv : float;  (** -inf when empty *)
+  mutable zeros : int;  (** samples <= 0, kept out of the log buckets *)
+  buckets : (int, int) Hashtbl.t;
+}
+
+let create () =
+  { n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity; zeros = 0;
+    buckets = Hashtbl.create 16 }
+
+let copy t =
+  { n = t.n; sum = t.sum; minv = t.minv; maxv = t.maxv; zeros = t.zeros;
+    buckets = Hashtbl.copy t.buckets }
+
+let bucket_of_value v =
+  (* v > 0 *)
+  int_of_float (Float.floor (float_of_int sub *. Float.log2 v))
+
+let bucket_bounds i =
+  ( Float.pow 2.0 (float_of_int i /. float_of_int sub),
+    Float.pow 2.0 (float_of_int (i + 1) /. float_of_int sub) )
+
+let observe t v =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.minv then t.minv <- v;
+  if v > t.maxv then t.maxv <- v;
+  if v > 0.0 then begin
+    let i = bucket_of_value v in
+    Hashtbl.replace t.buckets i
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.buckets i))
+  end
+  else t.zeros <- t.zeros + 1
+
+let count t = t.n
+let zeros t = t.zeros
+let sum t = t.sum
+let min_value t = if t.n = 0 then 0.0 else t.minv
+let max_value t = if t.n = 0 then 0.0 else t.maxv
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let buckets t =
+  List.sort compare (Hashtbl.fold (fun i c acc -> (i, c) :: acc) t.buckets [])
+
+let merge_into ~into src =
+  into.n <- into.n + src.n;
+  into.sum <- into.sum +. src.sum;
+  if src.minv < into.minv then into.minv <- src.minv;
+  if src.maxv > into.maxv then into.maxv <- src.maxv;
+  into.zeros <- into.zeros + src.zeros;
+  Hashtbl.iter
+    (fun i c ->
+      Hashtbl.replace into.buckets i
+        (c + Option.value ~default:0 (Hashtbl.find_opt into.buckets i)))
+    src.buckets
+
+let merge ts =
+  let into = create () in
+  List.iter (fun t -> merge_into ~into t) ts;
+  into
+
+let clamp t v = Float.max t.minv (Float.min t.maxv v)
+
+(* Quantile estimate from the buckets: walk the cumulative counts (the
+   zero bucket first, then log buckets in index order) until the rank is
+   reached, and report the geometric midpoint of the winning bucket
+   clamped to the observed [min, max].  Monotone in [q] by construction:
+   a larger rank can only land in the same or a later bucket, and both
+   the representative values and the clamp are monotone. *)
+let quantile t q =
+  if t.n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.n))) in
+    if rank <= t.zeros then clamp t 0.0
+    else begin
+      let rec walk cum = function
+        | [] -> t.maxv
+        | (i, c) :: rest ->
+          let cum = cum + c in
+          if rank <= cum then begin
+            let lo, hi = bucket_bounds i in
+            clamp t (Float.sqrt (lo *. hi))
+          end
+          else walk cum rest
+      in
+      walk t.zeros (buckets t)
+    end
+  end
+
+let p50 t = quantile t 0.50
+let p90 t = quantile t 0.90
+let p99 t = quantile t 0.99
+
+(* Observationally-equal check used by the property tests: same counts,
+   same extrema, same bucket contents.  [sum] is compared by the caller
+   when sample values make float addition exact (integer-valued
+   samples); it is excluded here because float addition is not
+   associative in general. *)
+let equal a b =
+  a.n = b.n && a.zeros = b.zeros
+  && (a.n = 0 || (a.minv = b.minv && a.maxv = b.maxv))
+  && buckets a = buckets b

@@ -1,6 +1,45 @@
 (** Fixed-size domain pool.  See pool.mli. *)
 
 (* ------------------------------------------------------------------ *)
+(* Metrics plumbing                                                    *)
+(*                                                                     *)
+(* The pool is a util-layer module, so it cannot depend on the         *)
+(* telemetry sink; instead it keeps its own counters and histograms    *)
+(* and lets the telemetry layer install a clock (microseconds) and     *)
+(* flip the recording gate.  Everything is off by default: with the    *)
+(* gate closed, submit/worker paths pay one boolean test and no clock  *)
+(* reads, so the jobs=1 oracle (which never builds a pool at all) is   *)
+(* unperturbed.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let clock : (unit -> float) ref = ref (fun () -> 0.0)
+let set_clock f = clock := f
+
+let metrics_enabled = ref false
+let set_metrics b = metrics_enabled := b
+
+type worker_stat = {
+  w_id : int;
+  mutable w_tasks : int;
+  mutable w_busy_us : float;
+}
+
+(* The executing worker's stat record; written only by that worker. *)
+let worker_stat_key : worker_stat option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+type pool_metrics = {
+  pm_submitted : int Atomic.t;
+  pm_completed : int Atomic.t;
+  pm_inline : int Atomic.t;  (** nested submits run inline on a worker *)
+  pm_workers : worker_stat array;
+  pm_m : Mutex.t;  (** guards the two histograms *)
+  pm_wait : Histogram.t;  (** queue wait: enqueue -> dequeue, us *)
+  pm_run : Histogram.t;  (** task latency: dequeue -> done, us *)
+  pm_since_us : float;  (** clock reading at pool creation *)
+}
+
+(* ------------------------------------------------------------------ *)
 (* Pool state                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -11,6 +50,7 @@ type t = {
   wake : Condition.t;  (** queue became non-empty or the pool closed *)
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  pm : pool_metrics;
 }
 
 let jobs t = t.n_jobs
@@ -21,8 +61,9 @@ let worker_flag = Domain.DLS.new_key (fun () -> false)
 
 let inside_worker () = Domain.DLS.get worker_flag
 
-let worker_loop pool () =
+let worker_loop pool i () =
   Domain.DLS.set worker_flag true;
+  Domain.DLS.set worker_stat_key (Some pool.pm.pm_workers.(i));
   let rec next () =
     Mutex.lock pool.m;
     while Queue.is_empty pool.queue && not pool.closed do
@@ -43,11 +84,19 @@ let clamp_jobs j = Stdlib.max 1 (Stdlib.min 128 j)
 
 let create ~jobs =
   let n_jobs = clamp_jobs jobs in
+  let pm =
+    { pm_submitted = Atomic.make 0; pm_completed = Atomic.make 0;
+      pm_inline = Atomic.make 0;
+      pm_workers =
+        Array.init n_jobs (fun i -> { w_id = i; w_tasks = 0; w_busy_us = 0.0 });
+      pm_m = Mutex.create (); pm_wait = Histogram.create ();
+      pm_run = Histogram.create (); pm_since_us = !clock () }
+  in
   let pool =
     { n_jobs; queue = Queue.create (); m = Mutex.create ();
-      wake = Condition.create (); closed = false; workers = [] }
+      wake = Condition.create (); closed = false; workers = []; pm }
   in
-  pool.workers <- List.init n_jobs (fun _ -> Domain.spawn (worker_loop pool));
+  pool.workers <- List.init n_jobs (fun i -> Domain.spawn (worker_loop pool i));
   pool
 
 let shutdown pool =
@@ -94,16 +143,54 @@ let run_into fut f =
   Condition.broadcast fut.fc;
   Mutex.unlock fut.fm
 
+(* All recording happens inside the task, *before* [run_into] resolves
+   the future: a caller that awaits every future and then snapshots
+   [stats] is guaranteed submitted = completed (no trailing updates race
+   with the export). *)
+let instrumented pm ~enq_us f () =
+  let t0 = !clock () in
+  Fun.protect f ~finally:(fun () ->
+      let dt = !clock () -. t0 in
+      (match Domain.DLS.get worker_stat_key with
+       | Some w ->
+         w.w_tasks <- w.w_tasks + 1;
+         w.w_busy_us <- w.w_busy_us +. dt
+       | None -> ());
+      Atomic.incr pm.pm_completed;
+      Mutex.lock pm.pm_m;
+      (match enq_us with
+       | Some enq -> Histogram.observe pm.pm_wait (Stdlib.max 0.0 (t0 -. enq))
+       | None -> ());
+      Histogram.observe pm.pm_run dt;
+      Mutex.unlock pm.pm_m)
+
 let submit pool f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); outcome = Pending } in
-  if inside_worker () then run_into fut f
+  if inside_worker () then begin
+    if !metrics_enabled then begin
+      let pm = pool.pm in
+      Atomic.incr pm.pm_submitted;
+      Atomic.incr pm.pm_inline;
+      run_into fut (instrumented pm ~enq_us:None f)
+    end
+    else run_into fut f
+  end
   else begin
     Mutex.lock pool.m;
     if pool.closed then begin
       Mutex.unlock pool.m;
       invalid_arg "Util.Pool.submit: pool is shut down"
     end;
-    Queue.add (fun () -> run_into fut f) pool.queue;
+    let job =
+      if !metrics_enabled then begin
+        let pm = pool.pm in
+        Atomic.incr pm.pm_submitted;
+        let enq_us = !clock () in
+        fun () -> run_into fut (instrumented pm ~enq_us:(Some enq_us) f)
+      end
+      else fun () -> run_into fut f
+    in
+    Queue.add job pool.queue;
     Condition.signal pool.wake;
     Mutex.unlock pool.m
   end;
@@ -206,3 +293,42 @@ let global () =
       let pool = create ~jobs:(default_jobs ()) in
       global_pool := Some pool;
       Some pool
+
+(* ------------------------------------------------------------------ *)
+(* Metrics snapshot                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  st_jobs : int;
+  st_submitted : int;
+  st_completed : int;
+  st_inline : int;
+  st_workers : (int * int * float) list;  (** (id, tasks, busy_us) *)
+  st_queue_wait : Histogram.t;
+  st_task_run : Histogram.t;
+  st_since_us : float;
+}
+
+let stats pool =
+  let pm = pool.pm in
+  Mutex.lock pm.pm_m;
+  let wait = Histogram.copy pm.pm_wait in
+  let run = Histogram.copy pm.pm_run in
+  Mutex.unlock pm.pm_m;
+  {
+    st_jobs = pool.n_jobs;
+    st_submitted = Atomic.get pm.pm_submitted;
+    st_completed = Atomic.get pm.pm_completed;
+    st_inline = Atomic.get pm.pm_inline;
+    st_workers =
+      Array.to_list
+        (Array.map (fun w -> (w.w_id, w.w_tasks, w.w_busy_us)) pm.pm_workers);
+    st_queue_wait = wait;
+    st_task_run = run;
+    st_since_us = pm.pm_since_us;
+  }
+
+(* Snapshot of the running global pool without creating one: the
+   metrics exporter calls this after the run, when forcing a pool into
+   existence would fabricate an all-zero record. *)
+let global_stats () = Option.map stats !global_pool

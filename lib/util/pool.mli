@@ -83,3 +83,41 @@ val set_default_jobs : int -> unit
 (** The shared pool at the current default, or [None] when the default
     is 1 — callers use [None] to select their exact sequential path. *)
 val global : unit -> t option
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder instrumentation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Install the microsecond clock the instrumentation reads.  The
+    telemetry layer installs the {e wall} clock here — never its
+    pluggable tick clock: pool metrics are runtime-tier, and a pool
+    clock read on a worker domain under the tick clock would perturb
+    the work-tier timed regions running there.  Defaults to a constant
+    0. *)
+val set_clock : (unit -> float) -> unit
+
+(** Open/close the recording gate.  Closed (the default), submit and
+    worker paths pay a single boolean test and make no clock reads —
+    the jobs=1 oracle never builds a pool, and a jobs>1 run with the
+    gate closed is observationally identical to one without metrics. *)
+val set_metrics : bool -> unit
+
+type stats = {
+  st_jobs : int;
+  st_submitted : int;  (** tasks handed to {!submit} *)
+  st_completed : int;
+  st_inline : int;  (** nested submits run inline on a worker *)
+  st_workers : (int * int * float) list;
+      (** per worker domain: (id, tasks run, busy microseconds); idle
+          time is [elapsed - busy] at the consumer's choice of horizon *)
+  st_queue_wait : Histogram.t;  (** enqueue -> dequeue, microseconds *)
+  st_task_run : Histogram.t;  (** dequeue -> completion, microseconds *)
+  st_since_us : float;  (** clock reading at pool creation *)
+}
+
+(** Snapshot of a pool's counters and latency histograms (histograms
+    are copies; safe to read while workers run). *)
+val stats : t -> stats
+
+(** [stats] of the running global pool, without creating one. *)
+val global_stats : unit -> stats option
