@@ -10,16 +10,25 @@ test:
 
 # Full gate: build (including the bench executable), unit tests, the
 # parallel sweep, an adcheck dataflow smoke run on the small corpus
-# (exercises generator -> parser -> CFG -> fixpoint -> report), and a
+# (exercises generator -> parser -> CFG -> fixpoint -> report), a
 # bench-diff self-compare of a freshly exported adcheck-metrics/1
 # record (a record that fails to self-compare means the exporter or
-# the gate's schema reader regressed).
+# the gate's schema reader regressed), and a regression gate of a
+# fresh METRICS_5-shaped export against the committed METRICS_5.json:
+# work-tier counters must match exactly and attributed-timing sums may
+# regress at most 50% (wall time on a shared CI box is noisy; the
+# threshold catches step changes, not jitter — see `adcheck bench-diff
+# --help` for the floor that also ignores sub-millisecond drift).
 check: build test check-par
 	dune build bench/main.exe
 	dune exec bin/adcheck.exe -- dataflow --scale small \
 	  --metrics _build/check-metrics.json
 	dune exec bin/adcheck.exe -- bench-diff \
 	  _build/check-metrics.json _build/check-metrics.json
+	dune exec bench/main.exe -- --scale small --out _build/check-bench5.json \
+	  --metrics _build/check-metrics5.json overhead table1
+	dune exec bin/adcheck.exe -- bench-diff \
+	  METRICS_5.json _build/check-metrics5.json --fail-on-regress 50
 
 # Run the whole suite under 1, 2 and 8 worker domains.  ADCHECK_JOBS=1
 # is the sequential oracle; any divergence at 2 or 8 is a determinism

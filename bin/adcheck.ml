@@ -10,7 +10,8 @@
     - [corpus]     write the generated corpus to disk
     - [check]      analyze C/C++/CUDA files from disk
     - [callgraph]  resolution-accounted call graph (+ Graphviz DOT)
-    - [interproc]  whole-program summaries: SCCs, purity, coupling, depth *)
+    - [interproc]  whole-program summaries: SCCs, purity, coupling, depth
+    - [explain]    render one finding's provenance witness chain *)
 
 open Cmdliner
 
@@ -55,18 +56,37 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let evidence_arg =
+  let doc =
+    "Write the provenance journal of the run — every finding with its \
+     stable id and witness chain — to $(docv) as adcheck-evidence/1 JSONL.  \
+     Ids resolve with $(b,adcheck explain); the journal is byte-identical \
+     at every --jobs value."
+  in
+  Arg.(value & opt (some string) None & info [ "evidence" ] ~docv:"FILE" ~doc)
+
+(* An unwritable output path is a user error, not a crash: one line on
+   stderr, exit 1.  The Sys_error message already names the path. *)
+let try_write what f =
+  try f ()
+  with Sys_error e ->
+    Printf.eprintf "adcheck: cannot write %s: %s\n" what e;
+    exit 1
+
 (** Bundle of the global instrumentation/concurrency flags, shared by
     every subcommand. *)
 let telemetry_term =
   Term.(
-    const (fun trace stats metrics verbose jobs -> (trace, stats, metrics, verbose, jobs))
-    $ trace_arg $ stats_arg $ metrics_arg $ verbose_arg $ jobs_arg)
+    const (fun trace stats metrics evidence verbose jobs ->
+        (trace, stats, metrics, evidence, verbose, jobs))
+    $ trace_arg $ stats_arg $ metrics_arg $ evidence_arg $ verbose_arg
+    $ jobs_arg)
 
 (** Run [f] under a per-subcommand telemetry span; afterwards write the
-    Chrome trace, the metrics record and/or print the stats tables when
-    requested.  The exporters run even if [f] raises, so a failed run
-    still leaves a trace to look at. *)
-let with_telemetry ~cmd (trace, stats, metrics, verbose, jobs) f =
+    Chrome trace, the metrics record, the evidence journal and/or print
+    the stats tables when requested.  The exporters run even if [f]
+    raises, so a failed run still leaves a trace to look at. *)
+let with_telemetry ~cmd (trace, stats, metrics, evidence, verbose, jobs) f =
   if verbose && Util.Log.level () = Util.Log.Warn then
     Util.Log.set_level Util.Log.Info;
   Option.iter Util.Pool.set_default_jobs jobs;
@@ -74,13 +94,19 @@ let with_telemetry ~cmd (trace, stats, metrics, verbose, jobs) f =
   let finish () =
     (match trace with
      | Some path ->
-       Telemetry.write_chrome_trace ~path;
+       try_write "Chrome trace" (fun () -> Telemetry.write_chrome_trace ~path);
        Util.Log.info "wrote Chrome trace to %s" path
      | None -> ());
     (match metrics with
      | Some path ->
-       Telemetry.write_metrics ~path ();
+       try_write "metrics" (fun () -> Telemetry.write_metrics ~path ());
        Util.Log.info "wrote metrics to %s" path
+     | None -> ());
+    (match evidence with
+     | Some path ->
+       try_write "evidence journal" (fun () ->
+           Provenance.write_journal ~path ());
+       Util.Log.info "wrote evidence journal to %s" path
      | None -> ());
     if stats then print_string (Telemetry.render_stats ())
   in
@@ -515,7 +541,7 @@ let callgraph_cmd =
     match dot with
     | None -> ()
     | Some path ->
-      Interproc.Dot.write ~path graph;
+      try_write "DOT call graph" (fun () -> Interproc.Dot.write ~path graph);
       Printf.printf "wrote DOT call graph to %s\n" path
   in
   let doc =
@@ -539,7 +565,8 @@ let interproc_cmd =
     match dot with
     | None -> ()
     | Some path ->
-      Interproc.Dot.write ~path ip.Interproc.Summary.graph;
+      try_write "DOT call graph" (fun () ->
+          Interproc.Dot.write ~path ip.Interproc.Summary.graph);
       Printf.printf "wrote DOT call graph to %s\n" path
   in
   let doc =
@@ -617,6 +644,53 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
+(* explain: render one finding's why-chain                              *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let id_arg =
+    let doc =
+      "Finding id to explain (an $(b,F-)… id from an evidence journal or \
+       the tool-evidence matrix; a unique prefix of at least 4 characters \
+       also resolves)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FINDING-ID" ~doc)
+  in
+  let run seed scale id tele =
+    with_telemetry ~cmd:"explain" tele @@ fun () ->
+    (* Re-run the audit (deterministic in the seed) to rebuild the journal
+       the id came from, then render the finding's witness chain with
+       source excerpts from the same corpus. *)
+    let audit =
+      Iso26262.Audit.run ~seed ~specs:(specs_of scale)
+        ~open_vs_closed:(gpu_ratios ()) ()
+    in
+    match Provenance.find id with
+    | Error e ->
+      Printf.eprintf "adcheck: %s\n" e;
+      exit 1
+    | Ok f ->
+      let sources = Hashtbl.create 256 in
+      List.iter
+        (fun (pf : Cfront.Project.parsed_file) ->
+          Hashtbl.replace sources pf.Cfront.Project.file.Cfront.Project.path
+            pf.Cfront.Project.file.Cfront.Project.content)
+        audit.Iso26262.Audit.parsed.Cfront.Project.files;
+      List.iter
+        (fun (path, content) -> Hashtbl.replace sources path content)
+        (Corpus.Yolo_src.files @ Corpus.Stencil_src.files);
+      print_string
+        (Provenance.explain ~source:(Hashtbl.find_opt sources) f)
+  in
+  let doc =
+    "Explain one audit finding: resolve its id in the evidence journal and \
+     print the full witness chain (rule, dataflow facts, call chain, \
+     covering scenario) with source excerpts."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ id_arg $ telemetry_term)
+
+(* ------------------------------------------------------------------ *)
 (* bench-diff: the performance regression gate                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -663,4 +737,4 @@ let () =
        (Cmd.group info
           [ audit_cmd; complexity_cmd; misra_cmd; dataflow_cmd; coverage_cmd;
             gpuperf_cmd; corpus_cmd; check_cmd; callgraph_cmd; interproc_cmd;
-            wcet_cmd; brook_cmd; faults_cmd; bench_diff_cmd ]))
+            wcet_cmd; brook_cmd; faults_cmd; explain_cmd; bench_diff_cmd ]))

@@ -27,7 +27,7 @@ let run_one sc =
              ("entries", string_of_int (List.length sc.sc_entries)) ]
   @@ fun () ->
   Telemetry.incr "coverage.scenarios";
-  let collector = Collector.create () in
+  let collector = Collector.create ~origin:sc.sc_name () in
   let env =
     Interp.create
       ~hooks:(Interp.telemetry_hooks ~base:(Collector.hooks collector) ())
@@ -55,8 +55,17 @@ let run_one sc =
   }
 
 (* chunk_size 1: scenarios are coarse units of work (each replays a whole
-   interpreter run), so one task per scenario keeps the pool balanced. *)
-let run_all scenarios = Telemetry.parallel_map ~chunk_size:1 run_one scenarios
+   interpreter run), so one task per scenario keeps the pool balanced.
+   Findings a scenario records on a worker come back with its outcome
+   and are absorbed in scenario order. *)
+let run_all scenarios =
+  List.map
+    (fun (outcome, findings) ->
+      Provenance.absorb findings;
+      outcome)
+    (Telemetry.parallel_map ~chunk_size:1
+       (fun sc -> Provenance.collect (fun () -> run_one sc))
+       scenarios)
 
 let merged_collector outcomes =
   Collector.merge (List.map (fun o -> o.o_collector) outcomes)

@@ -16,11 +16,12 @@ type result = {
 (** Parse, execute from [entry], and score coverage for the files in
     [measured] (paths); other files (test drivers) run but are not
     scored. *)
-let run ?(entry = "main") ~measured (tus : Cfront.Ast.tu list) =
+let run ?origin ?(entry = "main") ~measured (tus : Cfront.Ast.tu list) =
   Telemetry.with_span ~cat:"coverage" "coverage"
     ~attrs:[ ("entry", entry); ("tus", string_of_int (List.length tus)) ]
   @@ fun () ->
-  let collector = Coverage.Collector.create () in
+  let origin = match origin with Some o -> o | None -> "run:" ^ entry in
+  let collector = Coverage.Collector.create ~origin () in
   let env =
     Coverage.Interp.create
       ~hooks:(Coverage.Interp.telemetry_hooks ~base:(Coverage.Collector.hooks collector) ())

@@ -11,5 +11,7 @@ type result = {
 
 (** Parse-free entry point: execute the given units from [entry] and
     score coverage for the files named in [measured]; other files (test
-    drivers) execute but are not scored. *)
-val run : ?entry:string -> measured:string list -> Cfront.Ast.tu list -> result
+    drivers) execute but are not scored.  [origin] names the run for
+    first-covering attribution (default ["run:<entry>"]). *)
+val run :
+  ?origin:string -> ?entry:string -> measured:string list -> Cfront.Ast.tu list -> result

@@ -513,6 +513,79 @@ type func_summary = {
   s_const_conditions : int;  (** propagated constants only *)
 }
 
+(* Journal every concrete fact the four analyses surface, each with the
+   dataflow evidence that justifies it.  These are the raw facts; the
+   DF-*/9.1 MISRA rules journal their own (kind "misra") findings on top
+   of the subset they report. *)
+let record_findings (fname : string) (cfg : Cfg.t)
+    ~unreachable ~dead ~uninit ~consts =
+  let blocks = Cfg.n_blocks cfg and edges = Cfg.n_edges cfg in
+  List.iter
+    (fun (loc : Loc.t) ->
+      Provenance.record
+        (Provenance.make ~kind:"dataflow" ~analysis:"unreachable-region" ~loc
+           ~message:(Printf.sprintf "unreachable code region in %s" fname)
+           ~witness:
+             [
+               Provenance.step ~loc "region" "first instruction of the dead region";
+               Provenance.step "reachability"
+                 "no path from entry reaches this block (CFG: %d blocks, %d edges)"
+                 blocks edges;
+             ]
+           ()))
+    unreachable;
+  List.iter
+    (fun (d : dead_store) ->
+      let what =
+        match d.d_kind with Sassign -> "value assigned" | Sdecl_init -> "initializer"
+      in
+      Provenance.record
+        (Provenance.make ~kind:"dataflow" ~analysis:"dead-store" ~loc:d.d_loc
+           ~message:
+             (Printf.sprintf "%s to %s is never read in %s" what d.d_var fname)
+           ~witness:
+             [
+               Provenance.step ~loc:d.d_loc "store" "%s to %s" what d.d_var;
+               Provenance.step "liveness"
+                 "%s is not live after this store on any path (CFG: %d blocks, %d edges)"
+                 d.d_var blocks edges;
+             ]
+           ()))
+    dead;
+  List.iter
+    (fun (u : uninit_finding) ->
+      Provenance.record
+        (Provenance.make ~kind:"dataflow" ~analysis:"uninit-read"
+           ~loc:u.u_use_loc
+           ~message:
+             (Printf.sprintf "%s may be read uninitialized in %s" u.u_var fname)
+           ~witness:
+             [
+               Provenance.step ~loc:u.u_decl_loc "decl"
+                 "%s declared without an initializer" u.u_var;
+               Provenance.step ~loc:u.u_use_loc "use"
+                 "earliest read of %s; definite assignment does not hold on some path"
+                 u.u_var;
+             ]
+           ()))
+    uninit;
+  List.iter
+    (fun (c : const_cond) ->
+      let value = if c.c_value then "true" else "false" in
+      Provenance.record
+        (Provenance.make ~kind:"dataflow" ~analysis:"constant-condition"
+           ~loc:c.c_loc
+           ~message:(Printf.sprintf "condition is always %s in %s" value fname)
+           ~witness:
+             [
+               Provenance.step ~loc:c.c_loc "condition"
+                 "controlling expression folds to %s" value;
+               Provenance.step "reaching-definitions"
+                 "every definition reaching the condition assigns the same constant";
+             ]
+           ()))
+    consts
+
 let summarize_func (fn : Ast.func) =
   match fn.Ast.f_body with
   | None -> None
@@ -520,16 +593,21 @@ let summarize_func (fn : Ast.func) =
     Telemetry.timed "dataflow.fn_us" @@ fun () ->
     let cfg = Cfg.of_func fn in
     Telemetry.observe "dataflow.fn_blocks" (float_of_int (Cfg.n_blocks cfg));
+    let fname = Ast.qualified_name fn in
+    let unreachable = unreachable_regions cfg in
+    let dead = dead_stores cfg in
+    let uninit = uninit_reads cfg in
+    let consts = List.filter (fun c -> c.c_propagated) (constant_conditions cfg) in
+    record_findings fname cfg ~unreachable ~dead ~uninit ~consts;
     Some
       {
-        s_function = Ast.qualified_name fn;
+        s_function = fname;
         s_blocks = Cfg.n_blocks cfg;
         s_edges = Cfg.n_edges cfg;
-        s_unreachable = List.length (unreachable_regions cfg);
-        s_dead_stores = List.length (dead_stores cfg);
-        s_uninit_reads = List.length (uninit_reads cfg);
-        s_const_conditions =
-          List.length (List.filter (fun c -> c.c_propagated) (constant_conditions cfg));
+        s_unreachable = List.length unreachable;
+        s_dead_stores = List.length dead;
+        s_uninit_reads = List.length uninit;
+        s_const_conditions = List.length consts;
       }
 
 let summarize_functions fns =
@@ -538,9 +616,20 @@ let summarize_functions fns =
     (fun () ->
       (* Each function's CFG + four fixpoint solves is independent;
          fan out across the domain pool in input order (exact List.map
-         at --jobs 1). *)
+         at --jobs 1).  Findings recorded on workers come back with each
+         function's result and are absorbed in input order, so the
+         journal merge is deterministic. *)
+      let results =
+        Telemetry.parallel_map
+          (fun fn -> Provenance.collect (fun () -> summarize_func fn))
+          fns
+      in
       let summaries =
-        List.filter_map Fun.id (Telemetry.parallel_map summarize_func fns)
+        List.filter_map
+          (fun (summary, findings) ->
+            Provenance.absorb findings;
+            summary)
+          results
       in
       Telemetry.add "dataflow.functions" (List.length summaries);
       summaries)

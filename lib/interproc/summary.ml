@@ -736,10 +736,69 @@ let of_files (files : Project.parsed_file list) =
       Telemetry.add "interproc.sccs" (Array.length sccs);
       Telemetry.add "interproc.levels" (Array.length levels);
       Telemetry.add "interproc.uninit_flows" (List.length uninit_flows);
+      let cycles = Callgraph.recursion_cycles graph in
+      (* Journal the whole-program conclusions with their witnesses: the
+         cycle itself for recursion, the decl -> call -> use chain for
+         cross-call uninit, the witness cycle for unbounded depth.
+         [of_files] runs more than once per audit (the IP-1 rule and the
+         metrics walk both call it); the journal dedups by content id,
+         so the repeats collapse. *)
+      let cycle_steps cycle =
+        match cycle with
+        | [ q ] -> [ Provenance.step "call" "%s calls itself directly" q ]
+        | _ :: _ :: _ ->
+          List.mapi
+            (fun i callee ->
+              Provenance.step "call" "%s calls %s" (List.nth cycle i) callee)
+            (List.tl cycle @ [ List.hd cycle ])
+        | [] -> []
+      in
+      List.iter
+        (fun cycle ->
+          if cycle <> [] then
+            Provenance.record
+              (Provenance.make ~kind:"interproc" ~analysis:"recursion-cycle"
+                 ~message:
+                   (Printf.sprintf "recursion cycle: %s"
+                      (String.concat " -> " (cycle @ [ List.hd cycle ])))
+                 ~witness:(cycle_steps cycle) ()))
+        cycles;
+      List.iter
+        (fun (f : uninit_flow) ->
+          Provenance.record
+            (Provenance.make ~kind:"interproc" ~analysis:"cross-call-uninit"
+               ~loc:f.ip_use_loc
+               ~message:
+                 (Printf.sprintf
+                    "%s may be read uninitialized in %s across the call to %s"
+                    f.ip_var f.ip_function f.ip_callee)
+               ~witness:
+                 [
+                   Provenance.step ~loc:f.ip_decl_loc "decl"
+                     "%s declared without an initializer in %s" f.ip_var
+                     f.ip_function;
+                   Provenance.step ~loc:f.ip_call_loc "call"
+                     "&%s passed to %s, whose summary never initializes the pointee"
+                     f.ip_var f.ip_callee;
+                   Provenance.step ~loc:f.ip_use_loc "use"
+                     "%s read here while still uninitialized" f.ip_var;
+                 ]
+               ()))
+        uninit_flows;
+      (match max_call_depth with
+       | Finite _ -> ()
+       | Unbounded cycle ->
+         Provenance.record
+           (Provenance.make ~kind:"interproc" ~analysis:"unbounded-depth"
+              ~message:
+                (Printf.sprintf
+                   "worst-case call depth is unbounded (witness cycle: %s)"
+                   (String.concat " -> " cycle))
+              ~witness:(cycle_steps cycle) ()));
       {
         graph;
         summaries;
-        cycles = Callgraph.recursion_cycles graph;
+        cycles;
         n_sccs = Array.length sccs;
         n_levels = Array.length levels;
         max_call_depth;

@@ -14,6 +14,7 @@ type t = {
   yolo_run_output : string;
   stencil_coverage : Coverage.Collector.file_coverage list;
   observations : Observations.t list;
+  journal : Provenance.finding list;
 }
 
 let run_yolo_coverage () =
@@ -34,8 +35,40 @@ let run_stencil_coverage () =
     [open_vs_closed] supplies the open/closed library performance ratios
     for Observation 12 (computed by the [gpuperf] library; passing them in
     keeps this library independent of the performance model). *)
+(* Journal a verdict that falls short of its guideline threshold; the
+   witness quotes the topic, the measured evidence sentence and the
+   headline number the assessment compared. *)
+let record_metric_findings (findings : Assess.finding list) =
+  List.iter
+    (fun (f : Assess.finding) ->
+      match f.Assess.verdict with
+      | Assess.Pass | Assess.Not_applicable -> ()
+      | (Assess.Partial | Assess.Fail) as verdict ->
+        let topic = f.Assess.topic in
+        Provenance.record
+          (Provenance.make ~kind:"metric" ~analysis:(Guidelines.topic_id topic)
+             ~message:
+               (Printf.sprintf "%s: %s" (Assess.verdict_name verdict)
+                  topic.Guidelines.title)
+             ~witness:
+               ([
+                  Provenance.step "topic" "%s, topic %d: %s"
+                    (Guidelines.table_name topic.Guidelines.table)
+                    topic.Guidelines.index topic.Guidelines.title;
+                  Provenance.step "evidence" "%s" f.Assess.evidence;
+                ]
+                @
+                match f.Assess.measured with
+                | Some x -> [ Provenance.step "measured" "headline value %g" x ]
+                | None -> [])
+             ()))
+    findings
+
 let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
     ?(thresholds = Assess.default_thresholds) ?(open_vs_closed = []) () =
+  (* The audit owns the journal: every run starts it afresh, so [t.journal]
+     is exactly this run's evidence. *)
+  Provenance.reset ();
   Telemetry.with_span ~cat:"audit" "audit"
     ~attrs:[ ("seed", string_of_int seed);
              ("modules", string_of_int (List.length specs)) ]
@@ -70,31 +103,36 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
          allocation to its name (quick_stat is per-domain in OCaml 5's
          minor-heap counters, per-process in the major ones — a pragmatic
          attribution, flagged runtime-tier for exactly that reason). *)
-      let f_misra =
+      (* Each future's findings come back with its result ([collect] on
+         the worker) and are absorbed at the await; the journal's
+         canonical export order makes the different await orders at
+         different jobs values invisible. *)
+      let submit_collected name f =
         Util.Pool.submit pool (fun () ->
-            Telemetry.gc_phase "misra" (fun () ->
-                Project_metrics.misra_of_parsed parsed))
+            Provenance.collect (fun () -> Telemetry.gc_phase name f))
+      in
+      let await_absorb fut =
+        let result, findings = Util.Pool.await fut in
+        Provenance.absorb findings;
+        result
+      in
+      let f_misra =
+        submit_collected "misra" (fun () ->
+            Project_metrics.misra_of_parsed parsed)
       in
       let f_dataflow =
-        Util.Pool.submit pool (fun () ->
-            Telemetry.gc_phase "dataflow" (fun () ->
-                Project_metrics.module_dataflow_of_parsed parsed))
+        submit_collected "dataflow" (fun () ->
+            Project_metrics.module_dataflow_of_parsed parsed)
       in
-      let f_yolo =
-        Util.Pool.submit pool (fun () ->
-            Telemetry.gc_phase "coverage.yolo" run_yolo_coverage)
-      in
-      let f_stencil =
-        Util.Pool.submit pool (fun () ->
-            Telemetry.gc_phase "coverage.stencil" run_stencil_coverage)
-      in
+      let f_yolo = submit_collected "coverage.yolo" run_yolo_coverage in
+      let f_stencil = submit_collected "coverage.stencil" run_stencil_coverage in
       let metrics =
         Telemetry.gc_phase "metrics" (fun () ->
             Project_metrics.of_parsed_with
-              ~misra:(fun () -> Util.Pool.await f_misra)
-              ~module_dataflow:(Util.Pool.await f_dataflow) parsed)
+              ~misra:(fun () -> await_absorb f_misra)
+              ~module_dataflow:(await_absorb f_dataflow) parsed)
       in
-      (metrics, Util.Pool.await f_yolo, Util.Pool.await f_stencil)
+      (metrics, await_absorb f_yolo, await_absorb f_stencil)
   in
   (match yolo_exit with
    | Ok _ -> ()
@@ -103,18 +141,23 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
    | Ok _ -> ()
    | Error e -> failwith ("stencil coverage scenario failed: " ^ e));
   Telemetry.with_span ~cat:"audit" "audit.assess" @@ fun () ->
+  let coding = Assess.assess_coding ~th:thresholds metrics in
+  let architecture = Assess.assess_architecture ~th:thresholds metrics in
+  let unit_design = Assess.assess_unit_design ~th:thresholds metrics in
+  record_metric_findings (coding @ architecture @ unit_design);
   {
     parsed;
     metrics;
-    coding = Assess.assess_coding ~th:thresholds metrics;
-    architecture = Assess.assess_architecture ~th:thresholds metrics;
-    unit_design = Assess.assess_unit_design ~th:thresholds metrics;
+    coding;
+    architecture;
+    unit_design;
     yolo_coverage;
     yolo_run_output;
     stencil_coverage;
     observations =
       Observations.of_metrics metrics ~yolo_coverage ~stencil_coverage
         ~open_vs_closed;
+    journal = Provenance.findings ();
   }
 
 let all_findings audit = audit.coding @ audit.architecture @ audit.unit_design
@@ -155,7 +198,9 @@ let render audit =
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Report.render_observations audit.observations);
   Buffer.add_char buf '\n';
-  Buffer.add_string buf (Traceability.render_tool_evidence audit.metrics);
+  Buffer.add_string buf
+    (Traceability.render_tool_evidence ~journal:audit.journal
+       ~observations:audit.observations audit.metrics);
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Report.render_compliance (all_findings audit));
   Buffer.contents buf

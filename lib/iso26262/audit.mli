@@ -15,6 +15,9 @@ type t = {
   yolo_run_output : string;  (** stdout of the embedded test scenarios *)
   stencil_coverage : Coverage.Collector.file_coverage list;  (** Figure 6 *)
   observations : Observations.t list;
+  journal : Provenance.finding list;
+      (** this run's evidence journal, canonical order (the audit resets
+          the global journal at the start of [run]) *)
 }
 
 (** Run the Figure 5 experiment alone: parse the embedded YOLO sources,

@@ -16,12 +16,19 @@ let table_name = function
   | Architecture -> "Architectural design (ISO 26262-6 Table 3)"
   | Unit_design -> "Unit design & implementation (ISO 26262-6 Table 8)"
 
+let table_tag = function
+  | Coding -> "T1"
+  | Architecture -> "T3"
+  | Unit_design -> "T8"
+
 type topic = {
   table : table;
   index : int;
   title : string;
   recs : Asil.rec_matrix;
 }
+
+let topic_id t = Printf.sprintf "%s.%d" (table_tag t.table) t.index
 
 let t ~table ~index ~title (a, b, c, d) =
   { table; index; title; recs = { Asil.a; b; c; d } }

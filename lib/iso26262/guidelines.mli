@@ -10,6 +10,9 @@ type table = Coding | Architecture | Unit_design
 
 val table_name : table -> string
 
+(** Short tag used in reports and finding ids: "T1" / "T3" / "T8". *)
+val table_tag : table -> string
+
 (** One guideline topic: its table, 1-based row index, title, and
     per-ASIL recommendation strengths. *)
 type topic = {
@@ -18,6 +21,9 @@ type topic = {
   title : string;
   recs : Asil.rec_matrix;
 }
+
+(** Topic identifier used in reports and finding analyses, e.g. "T1.3". *)
+val topic_id : topic -> string
 
 (** The 8 modeling/coding guideline topics. *)
 val coding : topic list

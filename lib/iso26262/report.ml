@@ -212,11 +212,23 @@ let render_interproc (t : Interproc.Summary.t) =
 let render_coverage ~title (files : Coverage.Collector.file_coverage list) =
   let tbl =
     Util.Table.make ~title
-      ~header:[ "file"; "statement"; "branch"; "MC/DC"; "function"; "excluded fns" ]
+      ~header:
+        [ "file"; "statement"; "branch"; "MC/DC"; "function"; "excluded fns";
+          "first covered by" ]
       ~aligns:
         [ Util.Table.Left; Util.Table.Right; Util.Table.Right; Util.Table.Right;
-          Util.Table.Right; Util.Table.Right ]
+          Util.Table.Right; Util.Table.Right; Util.Table.Left ]
       ()
+  in
+  (* the least-named scenario covering anything in the file — the run an
+     auditor replays first to see the file exercised *)
+  let first_covered_by (f : Coverage.Collector.file_coverage) =
+    List.fold_left
+      (fun acc (fc : Coverage.Collector.func_coverage) ->
+        match (acc, fc.Coverage.Collector.first_covered_by) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (if b < a then b else a))
+      None f.Coverage.Collector.functions
   in
   let tbl =
     List.fold_left
@@ -227,7 +239,8 @@ let render_coverage ~title (files : Coverage.Collector.file_coverage list) =
             Util.Table.fmt_pct f.Coverage.Collector.branch_pct;
             Util.Table.fmt_pct f.Coverage.Collector.mcdc_pct;
             Util.Table.fmt_pct f.Coverage.Collector.function_pct;
-            string_of_int f.Coverage.Collector.excluded ])
+            string_of_int f.Coverage.Collector.excluded;
+            Option.value ~default:"-" (first_covered_by f) ])
       tbl files
   in
   let stmt, branch, mcdc = Coverage.Collector.averages files in

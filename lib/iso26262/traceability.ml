@@ -191,9 +191,47 @@ type tool_evidence = {
   te_analysis : string;  (** analysis / checker identifier *)
   te_clause : string;  (** ISO 26262 clause the evidence addresses *)
   te_evidence : string;  (** measured result on this corpus *)
+  te_findings : string list;  (** journal finding ids substantiating the row *)
 }
 
-let tool_evidence_matrix (m : Project_metrics.t) =
+(* Select journal findings by (kind, analysis prefix); "" matches every
+   analysis of the kind.  The ids returned are the [adcheck explain]
+   handles for the row. *)
+let finding_ids journal selectors =
+  List.filter_map
+    (fun (f : Provenance.finding) ->
+      if
+        List.exists
+          (fun (kind, prefix) ->
+            f.Provenance.f_kind = kind
+            && (prefix = ""
+                || String.starts_with ~prefix f.Provenance.f_analysis))
+          selectors
+      then Some f.Provenance.f_id
+      else None)
+    journal
+
+(* Which journal findings substantiate each numbered observation: the
+   observation's claim is about the output of a specific analysis (or a
+   specific guideline topic's metric verdict), so the selector names
+   that analysis.  Observation 12 (open vs closed performance) is
+   measured outside the static/coverage toolchain and links to none. *)
+let observation_selectors = function
+  | 1 -> [ ("metric", "T1.1") ]
+  | 2 -> [ ("misra", ""); ("dataflow", "") ]
+  | 3 | 4 -> [ ("misra", "CUDA-") ]
+  | 5 -> [ ("metric", "T1.3") ]
+  | 6 -> [ ("metric", "T1.4") ]
+  | 7 -> [ ("metric", "T8.5") ]
+  | 8 -> [ ("metric", "T1.7") ]
+  | 9 -> [ ("metric", "T1.8") ]
+  | 10 | 11 -> [ ("coverage", "") ]
+  | 13 -> [ ("metric", "T3.") ]
+  | 14 -> [ ("metric", "T8."); ("interproc", "") ]
+  | _ -> []
+
+let tool_evidence_matrix ?(journal = []) ?(observations = [])
+    (m : Project_metrics.t) =
   let ip = m.Project_metrics.interproc in
   let r = ip.Interproc.Summary.graph.Cfront.Callgraph.resolution in
   let shared_globals =
@@ -202,65 +240,103 @@ let tool_evidence_matrix (m : Project_metrics.t) =
          (fun c -> c.Interproc.Summary.mc_shared)
          ip.Interproc.Summary.coupling)
   in
-  [
-    {
-      te_analysis = "callgraph + interproc SCC condensation";
-      te_clause = "ISO 26262-6 Table 8 1f (no recursion)";
-      te_evidence =
-        (match ip.Interproc.Summary.cycles with
-         | [] -> "0 recursion cycles"
-         | cycles ->
-           Printf.sprintf "%d recursion cycles (e.g. %s)" (List.length cycles)
-             (String.concat " -> " (List.hd cycles)));
-    };
-    {
-      te_analysis = "interproc bottom-up stack bound";
-      te_clause = "ISO 26262-6 7.4.14 / Table 3 1a (hierarchy, bounded resources)";
-      te_evidence =
-        Printf.sprintf "worst-case call depth %s, stack bound %s words"
-          (Interproc.Summary.render_depth ip.Interproc.Summary.max_call_depth)
-          (Interproc.Summary.render_depth ip.Interproc.Summary.max_stack_words);
-    };
-    {
-      te_analysis = "interproc global coupling matrix";
-      te_clause = "ISO 26262-6 Table 3 1f/1g (restricted coupling, shared state)";
-      te_evidence =
-        Printf.sprintf "%d mutable globals, %d touched by several modules"
-          ip.Interproc.Summary.globals_total shared_globals;
-    };
-    {
-      te_analysis = "interproc definite assignment (IP-1)";
-      te_clause = "ISO 26262-6 Table 8 1d (initialization of variables)";
-      te_evidence =
-        Printf.sprintf "%d uninitialized values flowing through calls"
-          (List.length ip.Interproc.Summary.uninit_flows);
-    };
-    {
-      te_analysis = "callgraph resolution accounting";
-      te_clause = "ISO 26262-8 11 (confidence in use of software tools)";
-      te_evidence =
-        Printf.sprintf
-          "%d call sites: %d resolved, %d guessed, %d ambiguous, %d \
-           unresolved, %d indirect"
-          r.Cfront.Callgraph.total_sites r.Cfront.Callgraph.resolved
-          r.Cfront.Callgraph.guessed r.Cfront.Callgraph.ambiguous
-          r.Cfront.Callgraph.unresolved r.Cfront.Callgraph.indirect;
-    };
-  ]
+  let ids = finding_ids journal in
+  let clause_rows =
+    [
+      {
+        te_analysis = "callgraph + interproc SCC condensation";
+        te_clause = "ISO 26262-6 Table 8 1f (no recursion)";
+        te_evidence =
+          (match ip.Interproc.Summary.cycles with
+           | [] -> "0 recursion cycles"
+           | cycles ->
+             Printf.sprintf "%d recursion cycles (e.g. %s)" (List.length cycles)
+               (String.concat " -> " (List.hd cycles)));
+        te_findings = ids [ ("interproc", "recursion-cycle"); ("misra", "17.2") ];
+      };
+      {
+        te_analysis = "interproc bottom-up stack bound";
+        te_clause = "ISO 26262-6 7.4.14 / Table 3 1a (hierarchy, bounded resources)";
+        te_evidence =
+          Printf.sprintf "worst-case call depth %s, stack bound %s words"
+            (Interproc.Summary.render_depth ip.Interproc.Summary.max_call_depth)
+            (Interproc.Summary.render_depth ip.Interproc.Summary.max_stack_words);
+        te_findings = ids [ ("interproc", "unbounded-depth") ];
+      };
+      {
+        te_analysis = "interproc global coupling matrix";
+        te_clause = "ISO 26262-6 Table 3 1f/1g (restricted coupling, shared state)";
+        te_evidence =
+          Printf.sprintf "%d mutable globals, %d touched by several modules"
+            ip.Interproc.Summary.globals_total shared_globals;
+        te_findings = ids [ ("metric", "T3.") ];
+      };
+      {
+        te_analysis = "interproc definite assignment (IP-1)";
+        te_clause = "ISO 26262-6 Table 8 1d (initialization of variables)";
+        te_evidence =
+          Printf.sprintf "%d uninitialized values flowing through calls"
+            (List.length ip.Interproc.Summary.uninit_flows);
+        te_findings =
+          ids [ ("interproc", "cross-call-uninit"); ("misra", "IP-1") ];
+      };
+      {
+        te_analysis = "callgraph resolution accounting";
+        te_clause = "ISO 26262-8 11 (confidence in use of software tools)";
+        te_evidence =
+          Printf.sprintf
+            "%d call sites: %d resolved, %d guessed, %d ambiguous, %d \
+             unresolved, %d indirect"
+            r.Cfront.Callgraph.total_sites r.Cfront.Callgraph.resolved
+            r.Cfront.Callgraph.guessed r.Cfront.Callgraph.ambiguous
+            r.Cfront.Callgraph.unresolved r.Cfront.Callgraph.indirect;
+        te_findings = [];
+      };
+    ]
+  in
+  let observation_rows =
+    List.map
+      (fun (o : Observations.t) ->
+        {
+          te_analysis = Printf.sprintf "observation %d" o.Observations.number;
+          te_clause = o.Observations.statement;
+          te_evidence =
+            Printf.sprintf "%s [%s]" o.Observations.evidence
+              (if o.Observations.holds then "holds" else "does not hold");
+          te_findings = ids (observation_selectors o.Observations.number);
+        })
+      observations
+  in
+  clause_rows @ observation_rows
 
-let render_tool_evidence (m : Project_metrics.t) =
+(* Render a handful of ids in full (they are [adcheck explain] handles)
+   and summarize the rest — observation rows over the MISRA journal can
+   link hundreds of findings. *)
+let render_finding_ids = function
+  | [] -> "-"
+  | ids ->
+    let n = List.length ids in
+    let shown = List.filteri (fun i _ -> i < 3) ids in
+    String.concat " " shown
+    ^ (if n > 3 then Printf.sprintf " +%d more" (n - 3) else "")
+
+let render_tool_evidence ?journal ?observations (m : Project_metrics.t) =
   let tbl =
     Util.Table.make
       ~title:"Traceability: static analyses -> ISO 26262 clause evidence"
-      ~header:[ "analysis"; "clause"; "measured evidence" ]
-      ~aligns:[ Util.Table.Left; Util.Table.Left; Util.Table.Left ]
+      ~header:[ "analysis"; "clause"; "measured evidence"; "finding ids" ]
+      ~aligns:
+        [ Util.Table.Left; Util.Table.Left; Util.Table.Left; Util.Table.Left ]
       ()
   in
   let tbl =
     List.fold_left
       (fun tbl te ->
-        Util.Table.add_row tbl [ te.te_analysis; te.te_clause; te.te_evidence ])
-      tbl (tool_evidence_matrix m)
+        Util.Table.add_row tbl
+          [ te.te_analysis; te.te_clause; te.te_evidence;
+            render_finding_ids te.te_findings ])
+      tbl
+      (tool_evidence_matrix ?journal ?observations m)
   in
   Util.Table.render tbl
 

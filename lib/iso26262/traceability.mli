@@ -45,19 +45,33 @@ val trace : Assess.finding list -> goal_trace list
 val render : goal_trace list -> string
 
 (** One row of the analysis → clause matrix: which analysis produced
-    which measured evidence for which ISO 26262 Part 6 clause. *)
+    which measured evidence for which ISO 26262 Part 6 clause, and which
+    journal findings substantiate it. *)
 type tool_evidence = {
   te_analysis : string;
   te_clause : string;
   te_evidence : string;
+  te_findings : string list;
+      (** provenance finding ids — the [adcheck explain] handles *)
 }
 
 (** Whole-program evidence rows (recursion, stack bound, global
     coupling, cross-call initialization, call-resolution confidence)
-    traced to their ISO 26262 clauses. *)
-val tool_evidence_matrix : Project_metrics.t -> tool_evidence list
+    traced to their ISO 26262 clauses, followed by one row per entry of
+    [observations].  [journal] supplies the findings each row links to
+    (by kind and analysis); with no journal every [te_findings] is
+    empty. *)
+val tool_evidence_matrix :
+  ?journal:Provenance.finding list ->
+  ?observations:Observations.t list ->
+  Project_metrics.t ->
+  tool_evidence list
 
-val render_tool_evidence : Project_metrics.t -> string
+val render_tool_evidence :
+  ?journal:Provenance.finding list ->
+  ?observations:Observations.t list ->
+  Project_metrics.t ->
+  string
 
 (** Requirements allocated to components that do not exist in the audited
     project — a traceability defect in itself. *)

@@ -67,6 +67,20 @@ let apply_deviations deviations per_rule =
   in
   (per_rule, List.rev !outcomes)
 
+(* Journal entry for one violation: the rule metadata and the violation
+   site frame whatever rule-specific steps the check attached (dataflow
+   path, call chain, recursion cycle), so every MISRA finding has a
+   non-empty witness chain even for purely syntactic rules. *)
+let finding_of_violation (r : Rule.t) (v : Rule.violation) =
+  let witness =
+    Provenance.step "rule" "MISRA %s (%s): %s" r.Rule.id
+      (Rule.category_name r.Rule.category) r.Rule.title
+    :: Provenance.step ~loc:v.Rule.loc "site" "%s" v.Rule.message
+    :: v.Rule.witness
+  in
+  Provenance.make ~kind:"misra" ~analysis:r.Rule.id ~loc:v.Rule.loc
+    ~message:v.Rule.message ~witness ()
+
 let run ?(rules = all_rules) ?(deviations = []) ctx =
   Telemetry.with_span ~cat:"misra" "misra"
     ~attrs:[ ("rules", string_of_int (List.length rules)) ]
@@ -95,6 +109,14 @@ let run ?(rules = all_rules) ?(deviations = []) ctx =
           rules
       in
       let per_rule, outcomes = apply_deviations deviations per_rule in
+      (* Journal after deviations so the evidence matches the report:
+         suppressed violations leave no finding.  This runs on the
+         calling domain in registration order, so the journal is
+         identical at every --jobs value. *)
+      List.iter
+        (fun (r, vs) ->
+          List.iter (fun v -> Provenance.record (finding_of_violation r v)) vs)
+        per_rule;
       let total_violations =
         Util.Stats.sum_int (List.map (fun (_, vs) -> List.length vs) per_rule)
       in

@@ -15,6 +15,9 @@ type violation = {
   rule_id : string;
   loc : Cfront.Loc.t;
   message : string;
+  witness : Provenance.step list;
+      (** rule-specific extra witness steps; the registry prepends the
+          rule and violation-site steps when journaling *)
 }
 
 type context = {
@@ -53,4 +56,5 @@ let context_of_files files =
   in
   { files; functions; callgraph = Cfront.Callgraph.build functions }
 
-let v ~rule_id ~loc fmt = Printf.ksprintf (fun message -> { rule_id; loc; message }) fmt
+let v ?(witness = []) ~rule_id ~loc fmt =
+  Printf.ksprintf (fun message -> { rule_id; loc; message; witness }) fmt

@@ -12,6 +12,10 @@ type violation = {
   rule_id : string;
   loc : Cfront.Loc.t;
   message : string;
+  witness : Provenance.step list;
+      (** rule-specific extra witness steps (the dataflow path, the call
+          chain, the recursion cycle); the registry prepends the rule
+          and violation-site steps when it journals the finding *)
 }
 
 type context = {
@@ -39,8 +43,12 @@ val make :
 val build_context : Cfront.Project.parsed -> context
 val context_of_files : Cfront.Project.parsed_file list -> context
 
-(** Printf-style violation constructor. *)
+(** Printf-style violation constructor.  [witness] carries the
+    rule-specific provenance steps (empty for purely syntactic rules —
+    the registry's rule/site steps already make the journal chain
+    non-empty). *)
 val v :
+  ?witness:Provenance.step list ->
   rule_id:string ->
   loc:Cfront.Loc.t ->
   ('a, unit, string, violation) format4 ->

@@ -26,12 +26,24 @@ let df1 =
           let cfg = Dataflow.Cfg.of_func fn in
           List.map
             (fun (d : Dataflow.Analyses.dead_store) ->
-              Rule.v ~rule_id:"DF-1" ~loc:d.Dataflow.Analyses.d_loc
-                "%s to %s is never read in %s"
-                (match d.Dataflow.Analyses.d_kind with
-                 | Dataflow.Analyses.Sassign -> "value assigned"
-                 | Dataflow.Analyses.Sdecl_init -> "initializer")
-                d.Dataflow.Analyses.d_var (Ast.qualified_name fn))
+              let what =
+                match d.Dataflow.Analyses.d_kind with
+                | Dataflow.Analyses.Sassign -> "value assigned"
+                | Dataflow.Analyses.Sdecl_init -> "initializer"
+              in
+              let witness =
+                [
+                  Provenance.step ~loc:d.Dataflow.Analyses.d_loc "store"
+                    "%s to %s" what d.Dataflow.Analyses.d_var;
+                  Provenance.step "liveness"
+                    "%s is dead after this store on every path of %s (%d CFG nodes)"
+                    d.Dataflow.Analyses.d_var (Ast.qualified_name fn)
+                    (Dataflow.Cfg.n_blocks cfg);
+                ]
+              in
+              Rule.v ~witness ~rule_id:"DF-1" ~loc:d.Dataflow.Analyses.d_loc
+                "%s to %s is never read in %s" what d.Dataflow.Analyses.d_var
+                (Ast.qualified_name fn))
             (Dataflow.Analyses.dead_stores cfg)))
 
 let df2 =
@@ -42,11 +54,19 @@ let df2 =
           List.filter_map
             (fun (c : Dataflow.Analyses.const_cond) ->
               if c.Dataflow.Analyses.c_propagated then
+                let value = if c.Dataflow.Analyses.c_value then "true" else "false" in
+                let witness =
+                  [
+                    Provenance.step ~loc:c.Dataflow.Analyses.c_loc "condition"
+                      "controlling expression folds to %s" value;
+                    Provenance.step "constant-propagation"
+                      "every reaching definition yields the same constant in %s (%d CFG nodes)"
+                      (Ast.qualified_name fn) (Dataflow.Cfg.n_blocks cfg);
+                  ]
+                in
                 Some
-                  (Rule.v ~rule_id:"DF-2" ~loc:c.Dataflow.Analyses.c_loc
-                     "condition is always %s in %s"
-                     (if c.Dataflow.Analyses.c_value then "true" else "false")
-                     (Ast.qualified_name fn))
+                  (Rule.v ~witness ~rule_id:"DF-2" ~loc:c.Dataflow.Analyses.c_loc
+                     "condition is always %s in %s" value (Ast.qualified_name fn))
               else None)
             (Dataflow.Analyses.constant_conditions cfg)))
 

@@ -35,8 +35,9 @@ let r17_2 =
   Rule.make ~id:"17.2" ~title:"no recursion" ~category:Rule.Required (fun ctx ->
       let recursive = Callgraph.recursive_functions ctx.Rule.callgraph in
       let cycles = Callgraph.recursion_cycles ctx.Rule.callgraph in
+      let cycle_of q = List.find_opt (fun c -> List.mem q c) cycles in
       let witness q =
-        match List.find_opt (fun c -> List.mem q c) cycles with
+        match cycle_of q with
         | Some [ _ ] | None -> "calls itself"
         | Some cycle ->
           Printf.sprintf "cycle: %s -> %s" (String.concat " -> " cycle)
@@ -46,9 +47,19 @@ let r17_2 =
         (fun (fn : Ast.func) ->
           let q = Ast.qualified_name fn in
           if List.mem q recursive then
+            let steps =
+              match cycle_of q with
+              | Some (_ :: _ :: _ as cycle) ->
+                List.mapi
+                  (fun i callee ->
+                    Provenance.step "call" "%s calls %s"
+                      (List.nth cycle i) callee)
+                  (List.tl cycle @ [ List.hd cycle ])
+              | _ -> [ Provenance.step "call" "%s calls itself directly" q ]
+            in
             Some
-              (Rule.v ~rule_id:"17.2" ~loc:fn.Ast.f_loc "%s is recursive (%s)" q
-                 (witness q))
+              (Rule.v ~witness:steps ~rule_id:"17.2" ~loc:fn.Ast.f_loc
+                 "%s is recursive (%s)" q (witness q))
           else None)
         ctx.Rule.functions)
 
@@ -210,7 +221,17 @@ let r9_1 =
     ~category:Rule.Mandatory (fun ctx ->
       List.map
         (fun (f : Metrics.Uninit.finding) ->
-          Rule.v ~rule_id:"9.1" ~loc:f.Metrics.Uninit.use_loc
+          let witness =
+            [
+              Provenance.step ~loc:f.Metrics.Uninit.decl_loc "decl"
+                "%s declared without an initializer in %s" f.Metrics.Uninit.var
+                f.Metrics.Uninit.in_function;
+              Provenance.step ~loc:f.Metrics.Uninit.use_loc "use"
+                "earliest read of %s with no assignment on some path"
+                f.Metrics.Uninit.var;
+            ]
+          in
+          Rule.v ~witness ~rule_id:"9.1" ~loc:f.Metrics.Uninit.use_loc
             "%s may be read uninitialized in %s" f.Metrics.Uninit.var
             f.Metrics.Uninit.in_function)
         (Metrics.Uninit.of_functions ctx.Rule.functions))

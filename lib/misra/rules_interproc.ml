@@ -15,7 +15,20 @@ let ip1 =
       let t = Interproc.Summary.of_files ctx.Rule.files in
       List.map
         (fun (f : Interproc.Summary.uninit_flow) ->
-          Rule.v ~rule_id:"IP-1" ~loc:f.Interproc.Summary.ip_use_loc
+          let witness =
+            [
+              Provenance.step ~loc:f.Interproc.Summary.ip_decl_loc "decl"
+                "%s declared without an initializer in %s"
+                f.Interproc.Summary.ip_var f.Interproc.Summary.ip_function;
+              Provenance.step ~loc:f.Interproc.Summary.ip_call_loc "call"
+                "&%s passed to %s, whose summary never initializes the pointee"
+                f.Interproc.Summary.ip_var f.Interproc.Summary.ip_callee;
+              Provenance.step ~loc:f.Interproc.Summary.ip_use_loc "use"
+                "%s read here while still uninitialized"
+                f.Interproc.Summary.ip_var;
+            ]
+          in
+          Rule.v ~witness ~rule_id:"IP-1" ~loc:f.Interproc.Summary.ip_use_loc
             "%s may be read uninitialized in %s: &%s was passed to %s (line %d), which never initializes it"
             f.Interproc.Summary.ip_var f.Interproc.Summary.ip_function
             f.Interproc.Summary.ip_var f.Interproc.Summary.ip_callee

@@ -221,6 +221,68 @@ let test_chrome_trace_sorted () =
       (List.sort compare keys = keys)
   | _ -> Alcotest.fail "no traceEvents array"
 
+(* Golden Chrome-trace export: a fixed nested workload under the tick
+   clock must serialize to exactly these (ts, dur, name) complete
+   events, in exactly this order.  The tick clock starts each domain's
+   span stream at 0 and advances one microsecond per read, so an
+   enclosing span's duration counts every clock read made inside it;
+   any change to the export sort (ts, tid, name), to the timestamp
+   rebasing, or to how spans nest shows up as a golden mismatch. *)
+let test_chrome_trace_golden () =
+  with_fresh_sink @@ fun () ->
+  Telemetry.install_tick_clock ();
+  Fun.protect ~finally:Telemetry.use_wall_clock @@ fun () ->
+  Telemetry.with_span "outer" (fun () ->
+      Telemetry.with_span "inner-a" (fun () -> ());
+      Telemetry.with_span "inner-b" (fun () -> ()));
+  Telemetry.with_span "tail" (fun () -> ());
+  let j = parse_json "chrome_trace" (Telemetry.chrome_trace ()) in
+  match Benchdiff.Json.member "traceEvents" j with
+  | Some (Benchdiff.Json.Arr evs) ->
+    let tuples =
+      List.map
+        (fun ev ->
+          match
+            ( Benchdiff.Json.member "ts" ev, Benchdiff.Json.member "dur" ev,
+              Benchdiff.Json.member "name" ev, Benchdiff.Json.member "ph" ev )
+          with
+          | Some (Benchdiff.Json.Num ts), Some (Benchdiff.Json.Num dur),
+            Some (Benchdiff.Json.Str n), Some (Benchdiff.Json.Str ph) ->
+            Alcotest.(check string) "all events are complete events" "X" ph;
+            (int_of_float ts, (int_of_float dur, n))
+          | _ -> Alcotest.fail "event missing ts/dur/name/ph")
+        evs
+    in
+    Alcotest.(check (list (pair int (pair int string))))
+      "golden (ts, dur, name) sequence"
+      [ (0, (5, "outer")); (1, (1, "inner-a")); (3, (1, "inner-b"));
+        (6, (1, "tail")) ]
+      tuples;
+    (* the single-domain workload keeps every event on one tid *)
+    (match evs with
+     | first :: rest ->
+       let tid ev =
+         match Benchdiff.Json.member "tid" ev with
+         | Some (Benchdiff.Json.Num t) -> t
+         | _ -> Alcotest.fail "event missing tid"
+       in
+       List.iter
+         (fun ev ->
+           Alcotest.(check (float 0.0)) "same tid" (tid first) (tid ev))
+         rest
+     | [] -> Alcotest.fail "no events");
+    (* nesting is stable: each inner span's [ts, ts+dur] interval sits
+       inside outer's *)
+    List.iter
+      (fun (ts, (dur, name)) ->
+        if name = "inner-a" || name = "inner-b" then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s nests inside outer" name)
+            true
+            (ts >= 0 && ts + dur <= 5))
+      tuples
+  | _ -> Alcotest.fail "no traceEvents array"
+
 (* ------------------------------------------------------------------ *)
 (* Cross-jobs differential on the adcheck-metrics/1 record             *)
 (* ------------------------------------------------------------------ *)
@@ -479,6 +541,8 @@ let () =
             test_metrics_escaping;
           Alcotest.test_case "chrome trace events sorted" `Quick
             test_chrome_trace_sorted;
+          Alcotest.test_case "chrome trace golden (tick clock)" `Quick
+            test_chrome_trace_golden;
           Alcotest.test_case "runtime tier partition" `Quick
             test_runtime_tier_partition;
         ] );
