@@ -29,6 +29,10 @@ check: build test check-par
 	  --metrics _build/check-metrics5.json overhead table1
 	dune exec bin/adcheck.exe -- bench-diff \
 	  METRICS_5.json _build/check-metrics5.json --fail-on-regress 50
+	dune exec bench/main.exe -- --scale small --jobs 1,4 \
+	  --out _build/check-bench6.json compile
+	dune exec bin/adcheck.exe -- bench-diff \
+	  BENCH_6.json _build/check-bench6.json --fail-on-regress 50
 
 # Run the whole suite under 1, 2 and 8 worker domains.  ADCHECK_JOBS=1
 # is the sequential oracle; any divergence at 2 or 8 is a determinism
@@ -64,6 +68,11 @@ check-par:
 # adcheck-metrics/1 record of the same process (counters, attributed
 # timing histograms, GC/pool runtime telemetry) — the committed example
 # of what `adcheck --metrics` and `adcheck bench-diff` consume.
+# BENCH_6.json sweeps the two coverage engines (tree-walking oracle vs
+# compiled bytecode) over the full scenario set; the per-engine
+# coverage.engine.*.steps counters are the work-tier record (exact
+# across the jobs sweep — `make check` gates a fresh run against it)
+# and the bench.compile.*_ms gauges hold the wall times.
 bench:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --scale small --out BENCH_1.json \
@@ -76,6 +85,8 @@ bench:
 	  interproc
 	dune exec bench/main.exe -- --scale small --out BENCH_5.json \
 	  --metrics METRICS_5.json overhead table1
+	dune exec bench/main.exe -- --scale small --jobs 1,4 --out BENCH_6.json \
+	  compile
 
 # Regression gate self-check over the committed records: a record must
 # always be identical to itself, for both schemas the gate reads

@@ -574,6 +574,53 @@ let run_scenarios () =
   Printf.printf "averages: statement %.1f%%, branch %.1f%%, MC/DC %.1f%%\n"
     stmt branch mcdc
 
+let run_compile () =
+  heading "Coverage engines - tree-walking oracle vs compiled bytecode";
+  let set = Corpus.Scenario_set.full () in
+  let n_scenarios = List.length set.Corpus.Scenario_set.scenarios in
+  (* Same scenario set through both engines.  The per-engine step totals
+     (env.steps: AST nodes visited vs instructions dispatched) are the
+     work-tier counters — independent of jobs and wall clock, gated
+     exactly by `adcheck bench-diff`; the wall times are gauges. *)
+  let time_engine engine =
+    let t0 = Telemetry.now_us () in
+    let outcomes =
+      Coverage.Scenario.run_all ~engine set.Corpus.Scenario_set.scenarios
+    in
+    let wall_ms = (Telemetry.now_us () -. t0) /. 1e3 in
+    let steps =
+      List.fold_left
+        (fun acc o -> acc + o.Coverage.Scenario.o_steps)
+        0 outcomes
+    in
+    (outcomes, wall_ms, steps)
+  in
+  let tree_outcomes, tree_ms, tree_steps =
+    time_engine Coverage.Scenario.Tree
+  in
+  let bc_outcomes, bc_ms, bc_steps =
+    time_engine Coverage.Scenario.Bytecode
+  in
+  Telemetry.incr ~by:tree_steps "coverage.engine.tree.steps";
+  Telemetry.incr ~by:bc_steps "coverage.engine.bytecode.steps";
+  Telemetry.set_gauge "bench.compile.tree_ms" tree_ms;
+  Telemetry.set_gauge "bench.compile.bytecode_ms" bc_ms;
+  let fp outcomes =
+    Coverage.Collector.fingerprint (Coverage.Scenario.merged_collector outcomes)
+  in
+  let tree_fp = fp tree_outcomes and bc_fp = fp bc_outcomes in
+  if tree_fp <> bc_fp then
+    failwith "compile bench: engine fingerprints diverge";
+  Printf.printf
+    "%d scenarios on %d worker domain(s), merged fingerprints identical\n\
+     tree:     %8d steps  %8.1f ms\n\
+     bytecode: %8d steps  %8.1f ms\n\
+     step ratio %.2fx (bytecode dispatches fewer, coarser instructions)\n"
+    n_scenarios
+    (Util.Pool.default_jobs ())
+    tree_steps tree_ms bc_steps bc_ms
+    (float_of_int tree_steps /. float_of_int (max 1 bc_steps))
+
 let run_interproc () =
   heading "Extension - whole-program summary engine (SCC-level parallel bottom-up)";
   let ip = (metrics ()).Iso26262.Project_metrics.interproc in
@@ -751,6 +798,7 @@ let experiments =
     ("traceability", run_traceability);
     ("scheduling", run_scheduling);
     ("scenarios", run_scenarios);
+    ("compile", run_compile);
     ("interproc", run_interproc);
     ("plan", run_plan);
     ("overhead", run_overhead);

@@ -325,13 +325,31 @@ let coverage_cmd =
              `Yolo
          & info [ "subject" ] ~docv:"SUBJECT" ~doc)
   in
-  let run subject tele =
+  let engine_arg =
+    let doc =
+      "Interpreter engine: $(b,bytecode) (the default: each shared parse \
+       is compiled once to flat bytecode and dispatched with slot-indexed \
+       locals — same coverage, output and results as the tree walker in \
+       fewer interpreter steps) or $(b,tree) (the tree-walking \
+       differential oracle)."
+    in
+    Arg.(value
+         & opt
+             (enum
+                [ (Coverage.Scenario.engine_name Coverage.Scenario.Tree,
+                   Coverage.Scenario.Tree);
+                  (Coverage.Scenario.engine_name Coverage.Scenario.Bytecode,
+                   Coverage.Scenario.Bytecode) ])
+             Coverage.Scenario.Bytecode
+         & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let run subject engine tele =
     with_telemetry ~cmd:"coverage" tele @@ fun () ->
     match subject with
     | `Combined ->
       let set = Corpus.Scenario_set.full () in
       let outcomes =
-        Coverage.Scenario.run_all set.Corpus.Scenario_set.scenarios
+        Coverage.Scenario.run_all ~engine set.Corpus.Scenario_set.scenarios
       in
       List.iter
         (fun (name, entry, err) ->
@@ -363,7 +381,7 @@ let coverage_cmd =
            Corpus.Stencil_src.entry,
            "CUDA stencils executed on the CPU (cuda4cpu)")
       in
-      let result = Cudasim.Runner.run ~entry ~measured tus in
+      let result = Cudasim.Runner.run ~engine ~entry ~measured tus in
       (match result.Cudasim.Runner.exit_value with
        | Ok _ -> ()
        | Error e -> Util.Log.error "execution failed: %s" e);
@@ -371,7 +389,8 @@ let coverage_cmd =
       print_string (Iso26262.Report.render_coverage ~title result.Cudasim.Runner.files)
   in
   let doc = "Run the dynamic coverage experiments (statement, branch, MC/DC)." in
-  Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ subject_arg $ telemetry_term)
+  Cmd.v (Cmd.info "coverage" ~doc)
+    Term.(const run $ subject_arg $ engine_arg $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
 (* gpuperf                                                              *)

@@ -278,6 +278,32 @@ let iter_exprs_of_stmt fexpr stmt =
 let iter_exprs_of_func fexpr (fn : func) =
   Option.iter (iter_exprs_of_stmt fexpr) fn.f_body
 
+(** Every name a function can bind locally — parameters first, then
+    declared variables in statement order, each name once (first
+    occurrence wins).  Because the interpreter's frame pushes bindings
+    and never pops them, the newest binding of a name is the only one
+    ever visible, so a compiler may assign each name a single local
+    slot; this is the slot-index domain used by the coverage bytecode
+    engine. *)
+let local_names_of_func (fn : func) =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let add name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      acc := name :: !acc
+    end
+  in
+  List.iter (fun p -> add p.p_name) fn.f_params;
+  Option.iter
+    (iter_stmts (fun s ->
+         match s.s with
+         | Sdecl ds -> List.iter (fun d -> add d.v_name) ds
+         | Sfor { init = Fi_decl ds; _ } -> List.iter (fun d -> add d.v_name) ds
+         | _ -> ()))
+    fn.f_body;
+  List.rev !acc
+
 let rec type_to_string = function
   | Tvoid -> "void"
   | Tbool -> "bool"

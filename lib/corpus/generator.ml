@@ -239,8 +239,8 @@ let plain_stmt rng sc (q : quotas) w =
     | _ -> line w (Printf.sprintf "%s = %s + 1;" (pick_int rng sc) (pick_int rng sc))
 
 (* Emit a local declaration, teaching the scope about it. *)
-let declare_local rng sc (q : quotas) w =
-  let name = Namegen.local_name rng in
+let declare_local ng rng sc (q : quotas) w =
+  let name = Namegen.local_name ng rng in
   if Util.Rng.bool rng then begin
     line w (Printf.sprintf "int %s = %s;" name (int_expr rng sc));
     sc.ints <- name :: sc.ints
@@ -253,8 +253,8 @@ let declare_local rng sc (q : quotas) w =
 
 (* An uninitialized-read pattern: declaration without initializer, read
    under a condition before any assignment. *)
-let uninit_pattern rng sc w =
-  let name = Namegen.local_name rng in
+let uninit_pattern ng rng sc w =
+  let name = Namegen.local_name ng rng in
   line w (Printf.sprintf "int %s;" name);
   line w (Printf.sprintf "if (%s) {" (int_cond rng sc));
   push w;
@@ -268,7 +268,7 @@ let uninit_pattern rng sc w =
 (* ------------------------------------------------------------------ *)
 
 (* Emits structures consuming exactly [decisions] decision points. *)
-let rec emit_decisions rng sc q w ~depth decisions =
+let rec emit_decisions ng rng sc q w ~depth decisions =
   if decisions > 0 then begin
     let choice = Util.Rng.int rng 100 in
     if choice < 38 || depth >= 3 then begin
@@ -280,7 +280,7 @@ let rec emit_decisions rng sc q w ~depth decisions =
       if Util.Rng.chance rng 0.4 then plain_stmt rng sc q w;
       pop w;
       line w "}";
-      emit_decisions rng sc q w ~depth (decisions - 1 - extra)
+      emit_decisions ng rng sc q w ~depth (decisions - 1 - extra)
     end
     else if choice < 55 then begin
       (* if/else *)
@@ -293,11 +293,11 @@ let rec emit_decisions rng sc q w ~depth decisions =
       plain_stmt rng sc q w;
       pop w;
       line w "}";
-      emit_decisions rng sc q w ~depth (decisions - 1)
+      emit_decisions ng rng sc q w ~depth (decisions - 1)
     end
     else if choice < 75 then begin
       (* counted for loop, possibly with a nested structure *)
-      let i = Namegen.local_name rng in
+      let i = Namegen.local_name ng rng in
       line_fit w
         (Printf.sprintf "for (int %s = 0; %s < %s; ++%s) {" i i (pick_int rng sc) i);
       push w;
@@ -305,12 +305,12 @@ let rec emit_decisions rng sc q w ~depth decisions =
       let inner =
         if depth < 3 then Stdlib.min (decisions - 1) (Util.Rng.int rng 3) else 0
       in
-      if inner > 0 then emit_decisions rng sc q w ~depth:(depth + 1) inner
+      if inner > 0 then emit_decisions ng rng sc q w ~depth:(depth + 1) inner
       else plain_stmt rng sc q w;
       sc.ints <- List.tl sc.ints;
       pop w;
       line w "}";
-      emit_decisions rng sc q w ~depth (decisions - 1 - inner)
+      emit_decisions ng rng sc q w ~depth (decisions - 1 - inner)
     end
     else if choice < 85 && decisions >= 2 then begin
       (* switch: k cases consume k decisions *)
@@ -332,11 +332,11 @@ let rec emit_decisions rng sc q w ~depth decisions =
       end;
       pop w;
       line w "}";
-      emit_decisions rng sc q w ~depth (decisions - k)
+      emit_decisions ng rng sc q w ~depth (decisions - k)
     end
     else begin
       (* while loop *)
-      let i = Namegen.local_name rng in
+      let i = Namegen.local_name ng rng in
       line w (Printf.sprintf "int %s = %d;" i (Util.Rng.range rng 2 6));
       sc.ints <- i :: sc.ints;
       line w (Printf.sprintf "while (%s > 0) {" i);
@@ -345,7 +345,7 @@ let rec emit_decisions rng sc q w ~depth decisions =
       line w (Printf.sprintf "%s -= 1;" i);
       pop w;
       line w "}";
-      emit_decisions rng sc q w ~depth (decisions - 1)
+      emit_decisions ng rng sc q w ~depth (decisions - 1)
     end
   end
 
@@ -355,13 +355,13 @@ let rec emit_decisions rng sc q w ~depth decisions =
 
 (* Returns [Some kernel_name] when the emitted function is a CUDA kernel,
    so the caller can add a host-side launch wrapper. *)
-let emit_function rng sc q w (plan : fn_plan) ~line_budget =
+let emit_function ng rng sc q w (plan : fn_plan) ~line_budget =
   let name =
-    if plan.kernel then Namegen.kernel_name rng else Namegen.function_name rng
+    if plan.kernel then Namegen.kernel_name ng rng else Namegen.function_name ng rng
   in
-  let p_int1 = Namegen.local_name rng in
-  let p_int2 = Namegen.local_name rng in
-  let p_float = Namegen.local_name rng in
+  let p_int1 = Namegen.local_name ng rng in
+  let p_int2 = Namegen.local_name ng rng in
+  let p_float = Namegen.local_name ng rng in
   blank w;
   let fn_scope =
     { ints = [ p_int1; p_int2 ]; floats = [ p_float ]; callables = sc.callables }
@@ -382,14 +382,14 @@ let emit_function rng sc q w (plan : fn_plan) ~line_budget =
       push w;
       line w (Printf.sprintf "output[offset] = output[offset] * biases[offset %% %s];" p_int1);
       let target = cc_target rng plan.cc_class in
-      if target > 2 then emit_decisions rng fn_scope q w ~depth:1 (target - 2);
+      if target > 2 then emit_decisions ng rng fn_scope q w ~depth:1 (target - 2);
       pop w;
       line w "}"
     end
     else begin
       line w (Printf.sprintf "output[offset] = output[offset] * biases[offset %% %s];" p_int1);
       let target = cc_target rng plan.cc_class in
-      if target > 1 then emit_decisions rng fn_scope q w ~depth:0 (target - 1)
+      if target > 1 then emit_decisions ng rng fn_scope q w ~depth:0 (target - 1)
     end;
     pop w;
     line w "}";
@@ -413,13 +413,13 @@ let emit_function rng sc q w (plan : fn_plan) ~line_budget =
     line_fit w
       (Printf.sprintf "int %s(int %s, int %s, float %s) {" name p_int1 p_int2 p_float);
     push w;
-    let result = Namegen.local_name rng in
+    let result = Namegen.local_name ng rng in
     line w (Printf.sprintf "int %s = 0;" result);
     fn_scope.ints <- result :: fn_scope.ints;
-    declare_local rng fn_scope q w;
+    declare_local ng rng fn_scope q w;
     if q.uninit > 0 && Util.Rng.chance rng 0.3 then begin
       q.uninit <- q.uninit - 1;
-      uninit_pattern rng fn_scope w
+      uninit_pattern ng rng fn_scope w
     end;
     if plan.multi_exit then begin
       line w (Printf.sprintf "if (%s < 0) {" p_int1);
@@ -436,7 +436,7 @@ let emit_function rng sc q w (plan : fn_plan) ~line_budget =
     let target = cc_target rng plan.cc_class in
     let consumed = 1 + (if plan.multi_exit then 1 else 0) in
     if target > consumed then
-      emit_decisions rng fn_scope q w ~depth:0 (target - consumed)
+      emit_decisions ng rng fn_scope q w ~depth:0 (target - consumed)
     else plain_stmt rng fn_scope q w;
     if q.gotos > 0 && Util.Rng.chance rng 0.25 then begin
       q.gotos <- q.gotos - 1;
@@ -466,25 +466,25 @@ let emit_function rng sc q w (plan : fn_plan) ~line_budget =
 (* Globals, constants, structs                                          *)
 (* ------------------------------------------------------------------ *)
 
-let emit_global rng w =
+let emit_global ng rng w =
   match Util.Rng.int rng 4 with
-  | 0 -> line w (Printf.sprintf "int %s = 0;" (Namegen.global_name rng))
-  | 1 -> line w (Printf.sprintf "static int %s = %d;" (Namegen.global_name rng) (Util.Rng.range rng 0 64))
-  | 2 -> line w (Printf.sprintf "double %s = 0.0;" (Namegen.global_name rng))
-  | _ -> line w (Printf.sprintf "static float %s;" (Namegen.global_name rng))
+  | 0 -> line w (Printf.sprintf "int %s = 0;" (Namegen.global_name ng rng))
+  | 1 -> line w (Printf.sprintf "static int %s = %d;" (Namegen.global_name ng rng) (Util.Rng.range rng 0 64))
+  | 2 -> line w (Printf.sprintf "double %s = 0.0;" (Namegen.global_name ng rng))
+  | _ -> line w (Printf.sprintf "static float %s;" (Namegen.global_name ng rng))
 
-let emit_constant rng w =
+let emit_constant ng rng w =
   line w
-    (Printf.sprintf "const int %s = %d;" (Namegen.constant_name rng)
+    (Printf.sprintf "const int %s = %d;" (Namegen.constant_name ng rng)
        (Util.Rng.range rng 8 512))
 
-let emit_struct rng w =
-  let name = Namegen.struct_name rng in
+let emit_struct ng rng w =
+  let name = Namegen.struct_name ng rng in
   line w (Printf.sprintf "struct %s {" name);
   push w;
   let nf = Util.Rng.range rng 3 6 in
   for _ = 1 to nf do
-    let fname = Namegen.field_name rng in
+    let fname = Namegen.field_name ng rng in
     if Util.Rng.bool rng then line w (Printf.sprintf "float %s;" fname)
     else line w (Printf.sprintf "int %s;" fname)
   done;
@@ -493,8 +493,8 @@ let emit_struct rng w =
 
 (* CUDA host-side wrapper demonstrating the Figure 4 pattern: device
    pointers, cudaMalloc, kernel launch; some leak (no cudaFree). *)
-let emit_cuda_host rng sc q w ~kernel_name =
-  let name = Namegen.function_name rng in
+let emit_cuda_host ng rng sc q w ~kernel_name =
+  let name = Namegen.function_name ng rng in
   blank w;
   line w (Printf.sprintf "void %s(float* host_data, int size) {" name);
   push w;
@@ -546,7 +546,7 @@ let split_quota total parts i =
   (* share of [total] for part [i] of [parts], exact in sum *)
   (total * (i + 1) / parts) - (total * i / parts)
 
-let generate_file rng (spec : Apollo_profile.module_spec) ~file_idx ~plans
+let generate_file ng rng (spec : Apollo_profile.module_spec) ~file_idx ~plans
     ~(q : quotas) ~globals_here ~loc_budget =
   let w = new_writer () in
   line w
@@ -580,12 +580,12 @@ let generate_file rng (spec : Apollo_profile.module_spec) ~file_idx ~plans
     line w "}";
     blank w
   end;
-  emit_constant rng w;
+  emit_constant ng rng w;
   for _ = 1 to globals_here do
-    emit_global rng w
+    emit_global ng rng w
   done;
   blank w;
-  emit_struct rng w;
+  emit_struct ng rng w;
   let sc = { ints = []; floats = []; callables = [] } in
   (* seed cross-module calls *)
   if spec.Apollo_profile.name <> "common" then sc.callables <- common_api;
@@ -596,21 +596,26 @@ let generate_file rng (spec : Apollo_profile.module_spec) ~file_idx ~plans
   let kernel_names = ref [] in
   List.iter
     (fun plan ->
-      match emit_function rng sc q w plan ~line_budget:per_fn_budget with
+      match emit_function ng rng sc q w plan ~line_budget:per_fn_budget with
       | Some kname -> kernel_names := kname :: !kernel_names
       | None -> ())
     plans;
   (* host-side launch wrappers demonstrating the Figure 4 CUDA pattern *)
   List.iter
-    (fun kname -> emit_cuda_host rng sc q w ~kernel_name:kname)
+    (fun kname -> emit_cuda_host ng rng sc q w ~kernel_name:kname)
     (List.rev !kernel_names);
   blank w;
   line w (Printf.sprintf "}  // namespace %s" spec.Apollo_profile.name);
   line w "}  // namespace apollo";
   Buffer.contents w.buf
 
-let generate_module rng (spec : Apollo_profile.module_spec) =
-  let module_rng = Util.Rng.split rng in
+(* One module, generated entirely from its private SplitMix64 stream and
+   name-id base — no shared mutable state, so modules are independent
+   pool tasks. *)
+let generate_module ~module_idx module_rng (spec : Apollo_profile.module_spec) =
+  (* disjoint per-module name-id ranges: suffix uniqueness without
+     cross-module sequencing (a module never mints 100k names) *)
+  let ng = Namegen.make ~base:(module_idx * 100_000) () in
   let plans = make_plans module_rng spec in
   let q =
     {
@@ -637,8 +642,8 @@ let generate_module rng (spec : Apollo_profile.module_spec) =
           split_quota spec.Apollo_profile.target_loc n_files file_idx - 15 - globals_here
         in
         let content =
-          generate_file module_rng spec ~file_idx ~plans:plans_here ~q ~globals_here
-            ~loc_budget
+          generate_file ng module_rng spec ~file_idx ~plans:plans_here ~q
+            ~globals_here ~loc_budget
         in
         {
           Cfront.Project.path =
@@ -695,9 +700,21 @@ let generate ?(seed = 2019) (specs : Apollo_profile.module_spec list) =
     ~attrs:[ ("seed", string_of_int seed);
              ("modules", string_of_int (List.length specs)) ]
     (fun () ->
-      Namegen.reset ();
       let rng = Util.Rng.create seed in
-      let modules = List.map (generate_module rng) specs in
+      (* The per-module streams are split off sequentially up front (the
+         split sequence depends only on the seed and the module order),
+         then module generation fans out over the worker pool: each task
+         owns a private stream and a private name-id base, so the
+         generated bytes are identical at every jobs value. *)
+      let tasks =
+        List.mapi (fun i spec -> (i, Util.Rng.split rng, spec)) specs
+      in
+      let modules =
+        Telemetry.parallel_map ~chunk_size:1
+          (fun (module_idx, module_rng, spec) ->
+            generate_module ~module_idx module_rng spec)
+          tasks
+      in
       let project = Cfront.Project.make ~name:"apollo-corpus" modules in
       Telemetry.add "corpus.modules" (List.length modules);
       Telemetry.add "corpus.files" (Cfront.Project.file_count project);

@@ -1,6 +1,24 @@
 (** Deterministic identifier generation in Apollo's (Google C++) naming
     style: CamelCase functions and types, snake_case locals, kConstant
-    constants, g_-prefixed globals. *)
+    constants, g_-prefixed globals.
+
+    State is explicit: each generated module owns a {!t} whose counter
+    starts at a module-indexed base ([module_idx * 100_000]), so the
+    uniquifying suffixes a module's names carry depend only on that
+    module — never on how many names other modules consumed — and
+    module generation can fan out across pool workers with byte-identical
+    output at every jobs value. *)
+
+type t = { mutable counter : int }
+
+(** A fresh name stream starting above [base]; give each module a
+    disjoint base so names are globally unique without cross-module
+    sequencing. *)
+let make ~base () = { counter = base }
+
+let next_id t =
+  t.counter <- t.counter + 1;
+  t.counter
 
 let verbs =
   [| "Estimate"; "Compute"; "Update"; "Track"; "Fuse"; "Project"; "Filter";
@@ -23,43 +41,37 @@ let snake_words =
      "ratio"; "count"; "index"; "offset"; "limit"; "score"; "width"; "bound";
      "gain"; "angle"; "curv"; "dist"; "weight" |]
 
-let counter = ref 0
-
-let reset () = counter := 0
-
-let next_id () =
-  incr counter;
-  !counter
-
-let function_name rng =
+let function_name t rng =
   Printf.sprintf "%s%s%s%d" (Util.Rng.pick_array rng verbs)
     (Util.Rng.pick_array rng nouns)
     (Util.Rng.pick_array rng suffixes)
-    (next_id ())
+    (next_id t)
 
-let kernel_name rng =
+let kernel_name t rng =
   Printf.sprintf "%s%sKernel%d" (Util.Rng.pick_array rng verbs)
     (Util.Rng.pick_array rng nouns)
-    (next_id ())
+    (next_id t)
 
-let struct_name rng =
+let struct_name t rng =
   Printf.sprintf "%s%sInfo%d" (Util.Rng.pick_array rng nouns)
     (Util.Rng.pick_array rng suffixes)
-    (next_id ())
+    (next_id t)
 
-let local_name rng =
+let local_name t rng =
   Printf.sprintf "%s_%s%d" (Util.Rng.pick_array rng snake_words)
     (Util.Rng.pick_array rng snake_words)
-    (next_id ())
+    (next_id t)
 
-let global_name rng =
+let global_name t rng =
   Printf.sprintf "g_%s_%s%d" (Util.Rng.pick_array rng snake_words)
     (Util.Rng.pick_array rng snake_words)
-    (next_id ())
+    (next_id t)
 
-let constant_name rng =
+let constant_name t rng =
   Printf.sprintf "kMax%s%s%d" (Util.Rng.pick_array rng nouns)
     (Util.Rng.pick_array rng suffixes)
-    (next_id ())
+    (next_id t)
 
-let field_name rng = Printf.sprintf "%s_%s" (Util.Rng.pick_array rng snake_words) (Util.Rng.pick_array rng snake_words)
+let field_name _t rng =
+  Printf.sprintf "%s_%s" (Util.Rng.pick_array rng snake_words)
+    (Util.Rng.pick_array rng snake_words)

@@ -29,23 +29,44 @@ let full () =
      sets to merge onto the same keys. *)
   let yolo_tus = Yolo_src.parse_all () in
   let measured = List.map fst Yolo_src.measured_files in
-  let real =
-    {
-      Coverage.Scenario.sc_name = "yolo-real-scenarios";
-      sc_tus = yolo_tus;
-      sc_entries = [ Yolo_src.entry ];
-    }
+  (* One scenario per real-scenario test, in the driver's call order.
+     Each test function is self-contained, so splitting the monolithic
+     [main] driver into independent scenarios changes nothing about the
+     measured coverage (test_corpus.ml holds a golden comparison against
+     the monolithic run) while flattening the parallel critical path:
+     the five tests spread across workers instead of serializing inside
+     one scenario. *)
+  let reals =
+    List.map
+      (fun fn ->
+        let short =
+          let prefix = "scenario_" in
+          let n = String.length prefix in
+          let s =
+            if String.length fn > n && String.sub fn 0 n = prefix then
+              String.sub fn n (String.length fn - n)
+            else fn
+          in
+          String.map (fun c -> if c = '_' then '-' else c) s
+        in
+        {
+          Coverage.Scenario.sc_name = "yolo-real-" ^ short;
+          sc_tus = yolo_tus;
+          sc_entries = [ fn ];
+        })
+      Yolo_src.scenario_entries
   in
   let faults = Fault_src.to_scenarios ~yolo_tus in
   (* Gap probes need a baseline run to plan against; the baseline is a
      prefix of the set construction, not a member of the set — the real-
-     scenario member replays it so the merged coverage still includes
-     it.  Plans depend only on the (deterministic) baseline hit sets. *)
-  let baseline = Coverage.Scenario.run_one real in
-  let plans =
-    Coverage.Testgen.plan_for_gaps baseline.Coverage.Scenario.o_collector
-      yolo_tus ~measured
+     scenario members replay it so the merged coverage still includes
+     it.  Plans depend only on the (deterministic) baseline hit sets,
+     which the per-test split leaves unchanged on the measured files. *)
+  let baseline =
+    Coverage.Scenario.merged_collector
+      (List.map (fun sc -> Coverage.Scenario.run_one sc) reals)
   in
+  let plans = Coverage.Testgen.plan_for_gaps baseline yolo_tus ~measured in
   let driver, entries = Coverage.Testgen.driver_of_plans plans in
   let gap_tu = Cfront.Parser.parse_file ~file:"testgen/gap_driver.c" driver in
   let probes =
@@ -58,6 +79,7 @@ let full () =
         })
       (batches_of probe_batch_size entries)
   in
-  Telemetry.incr ~by:(1 + List.length faults + List.length probes)
+  Telemetry.incr
+    ~by:(List.length reals + List.length faults + List.length probes)
     "coverage.scenario_set.size";
-  { tus = yolo_tus; measured; scenarios = (real :: faults) @ probes }
+  { tus = yolo_tus; measured; scenarios = reals @ faults @ probes }

@@ -746,3 +746,17 @@ let parse_all () =
 let measured_files = List.filter (fun (p, _) -> p <> "yolo/test_main.c") files
 
 let entry = "main"
+
+(** The driver's per-test entry points, in [main]'s call order.  Each is
+    a self-contained "real-scenario test" (its own network, buffers and
+    teardown), so they can run as independent scenarios; [main] remains
+    the monolithic form and the golden reference for their combined
+    coverage. *)
+let scenario_entries =
+  [
+    "scenario_forward_inference";
+    "scenario_detection_nms";
+    "scenario_config_check";
+    "scenario_small_head";
+    "scenario_kernel_paths";
+  ]

@@ -17,3 +17,7 @@ val parse_all : unit -> Cfront.Ast.tu list
 val measured_files : (string * string) list
 
 val entry : string
+
+(** The driver's per-test entry points, in [main]'s call order; each is
+    self-contained and runs as an independent scenario. *)
+val scenario_entries : string list

@@ -1,0 +1,8 @@
+(** One-pass compiler from the shared Cfront AST to {!Bytecode}.
+
+    [compile tus] lowers every function with a body (in
+    [Interp.load_tu]'s load order) to a {!Bytecode.program}.  The result
+    is immutable: compile once per shared parse and reuse it across
+    scenarios, entry points and worker domains. *)
+
+val compile : Cfront.Ast.tu list -> Bytecode.program

@@ -1,0 +1,37 @@
+(** Bytecode dispatch loop: runs a {!Bytecode.program} against an
+    {!Interp.env} with hook events, memory effects, output and error
+    messages byte-identical to the tree-walker, in strictly fewer
+    {!Interp.tick} steps.  [test/test_bytecode_diff.ml] holds the two
+    engines to that contract. *)
+
+(** Load the program's translation units into the environment — this is
+    [Interp.load_tu] verbatim, so globals, enums, layouts and the
+    function table match the tree-walker's exactly. *)
+val load : Interp.env -> Bytecode.program -> unit
+
+(** Call one entry point in an already-loaded environment.  Same result
+    protocol as {!Interp.run}: runtime errors, memory faults, builtin
+    errors, step-limit exhaustion and uncaught C++ exceptions come back
+    as the same [Error] strings. *)
+val run_entry :
+  Interp.env ->
+  Bytecode.program ->
+  entry:string ->
+  args:Value.t list ->
+  (Value.t, string) result
+
+(** [load] then [run_entry] — the {!Interp.run} shape. *)
+val run :
+  Interp.env ->
+  Bytecode.program ->
+  entry:string ->
+  args:Value.t list ->
+  (Value.t, string) result
+
+(** Call each entry in order in the same (already loaded) environment;
+    a failing entry does not stop the rest. *)
+val run_entries :
+  Interp.env ->
+  Bytecode.program ->
+  entries:string list ->
+  (string * (Value.t, string) result) list

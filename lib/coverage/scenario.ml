@@ -19,9 +19,19 @@ type outcome = {
   o_collector : Collector.t;
   o_results : (string * (Value.t, string) result) list;
   o_output : string;
+  o_steps : int;
 }
 
-let run_one sc =
+type engine = Tree | Bytecode
+
+let engine_name = function Tree -> "tree" | Bytecode -> "bytecode"
+
+let engine_of_string = function
+  | "tree" -> Some Tree
+  | "bytecode" -> Some Bytecode
+  | _ -> None
+
+let run_one ?(engine = Tree) ?program sc =
   Telemetry.with_span ~cat:"coverage" "coverage.scenario"
     ~attrs:[ ("scenario", sc.sc_name);
              ("entries", string_of_int (List.length sc.sc_entries)) ]
@@ -37,12 +47,24 @@ let run_one sc =
     (* timed region innermost (inside the span) so the tick count is the
        same at every --jobs value; interpretation makes no clock reads *)
     Telemetry.timed ("coverage.scenario_us." ^ sc.sc_name) @@ fun () ->
-    match sc.sc_entries with
-    | [] -> []
-    | first :: rest ->
-      (* the first entry loads the units; the rest reuse the environment *)
-      (first, Interp.run env sc.sc_tus ~entry:first ~args:[])
-      :: Interp.run_entries env ~entries:rest
+    match (engine, sc.sc_entries) with
+    | _, [] -> []
+    | Tree, first :: rest ->
+      (* the first entry loads the units; the rest reuse the environment.
+         The head is bound BEFORE the cons: [::] evaluates its right
+         operand first, so the inline form ran the remaining entries
+         against an unloaded environment ("entry function not found")
+         — a latent bug the bytecode differential harness caught. *)
+      let head = (first, Interp.run env sc.sc_tus ~entry:first ~args:[]) in
+      head :: Interp.run_entries env ~entries:rest
+    | Bytecode, entries ->
+      (* compile once per shared parse (the caller may hand in a cached
+         program), load once, run every entry against it *)
+      let prog =
+        match program with Some p -> p | None -> Compile.compile sc.sc_tus
+      in
+      Exec.load env prog;
+      Exec.run_entries env prog ~entries
   in
   Telemetry.observe "coverage.scenario_stmts"
     (float_of_int
@@ -52,19 +74,44 @@ let run_one sc =
     o_collector = collector;
     o_results = results;
     o_output = Interp.output env;
+    o_steps = env.Interp.steps;
   }
+
+(* One compiled program per distinct parse in the scenario list.  Keyed
+   by per-element physical equality of the tu list: scenarios built over
+   the same shared parse (possibly through different list spines) reuse
+   one immutable program, which worker domains then share read-only. *)
+let compile_cache scenarios =
+  let same_tus a b =
+    List.compare_lengths a b = 0 && List.for_all2 ( == ) a b
+  in
+  let cache =
+    List.fold_left
+      (fun acc sc ->
+        if List.exists (fun (tus, _) -> same_tus tus sc.sc_tus) acc then acc
+        else (sc.sc_tus, Compile.compile sc.sc_tus) :: acc)
+      [] scenarios
+  in
+  fun sc ->
+    Option.map snd (List.find_opt (fun (tus, _) -> same_tus tus sc.sc_tus) cache)
 
 (* chunk_size 1: scenarios are coarse units of work (each replays a whole
    interpreter run), so one task per scenario keeps the pool balanced.
    Findings a scenario records on a worker come back with its outcome
    and are absorbed in scenario order. *)
-let run_all scenarios =
+let run_all ?(engine = Tree) scenarios =
+  (* programs are compiled sequentially up front (compilation is pure
+     and jobs-independent), then shared across the pool *)
+  let program_for =
+    match engine with Tree -> fun _ -> None | Bytecode -> compile_cache scenarios
+  in
   List.map
     (fun (outcome, findings) ->
       Provenance.absorb findings;
       outcome)
     (Telemetry.parallel_map ~chunk_size:1
-       (fun sc -> Provenance.collect (fun () -> run_one sc))
+       (fun sc ->
+         Provenance.collect (fun () -> run_one ~engine ?program:(program_for sc) sc))
        scenarios)
 
 let merged_collector outcomes =

@@ -38,15 +38,33 @@ type outcome = {
       (** per-entry results, in call order; errors are data here (the
           fault-injection scenarios expect them), not exceptions *)
   o_output : string;  (** everything the scenario printed *)
+  o_steps : int;
+      (** [env.steps] after the run — AST nodes visited (tree) or
+          instructions dispatched (bytecode); the `compile` bench's
+          work-tier counter *)
 }
 
+(** Which interpreter executes the scenario's entries.  Both engines
+    produce byte-identical coverage, results and output
+    ([test/test_bytecode_diff.ml] enforces it); [Bytecode] does so in
+    fewer [env.steps].  [Tree] remains the differential oracle and the
+    default. *)
+type engine = Tree | Bytecode
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
 (** Run one scenario in a fresh environment (telemetry hooks layered over
-    the collector's). *)
-val run_one : t -> outcome
+    the collector's).  With [~engine:Bytecode], [?program] supplies a
+    pre-compiled program for the scenario's exact tu list (compiled on
+    the spot otherwise). *)
+val run_one : ?engine:engine -> ?program:Bytecode.program -> t -> outcome
 
 (** Run every scenario across the pool; outcomes in input order.  At
-    jobs=1 this is exactly [List.map run_one]. *)
-val run_all : t list -> outcome list
+    jobs=1 this is exactly [List.map run_one].  Under [Bytecode], each
+    distinct parse in the list is compiled once up front and the
+    immutable program is shared by all worker domains. *)
+val run_all : ?engine:engine -> t list -> outcome list
 
 (** Union of all outcome collectors, merged in list order. *)
 val merged_collector : outcome list -> Collector.t

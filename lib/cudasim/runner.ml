@@ -15,10 +15,14 @@ type result = {
 
 (** Parse, execute from [entry], and score coverage for the files in
     [measured] (paths); other files (test drivers) run but are not
-    scored. *)
-let run ?origin ?(entry = "main") ~measured (tus : Cfront.Ast.tu list) =
+    scored.  [engine] picks the interpreter ([Tree] by default, keeping
+    the audited metrics pipeline on the oracle); both engines produce
+    identical coverage, output and exit values. *)
+let run ?origin ?(engine = Coverage.Scenario.Tree) ?(entry = "main") ~measured
+    (tus : Cfront.Ast.tu list) =
   Telemetry.with_span ~cat:"coverage" "coverage"
-    ~attrs:[ ("entry", entry); ("tus", string_of_int (List.length tus)) ]
+    ~attrs:[ ("entry", entry); ("tus", string_of_int (List.length tus));
+             ("engine", Coverage.Scenario.engine_name engine) ]
   @@ fun () ->
   let origin = match origin with Some o -> o | None -> "run:" ^ entry in
   let collector = Coverage.Collector.create ~origin () in
@@ -27,7 +31,13 @@ let run ?origin ?(entry = "main") ~measured (tus : Cfront.Ast.tu list) =
       ~hooks:(Coverage.Interp.telemetry_hooks ~base:(Coverage.Collector.hooks collector) ())
       ()
   in
-  let exit_value = Coverage.Interp.run env tus ~entry ~args:[] in
+  let exit_value =
+    match engine with
+    | Coverage.Scenario.Tree -> Coverage.Interp.run env tus ~entry ~args:[]
+    | Coverage.Scenario.Bytecode ->
+      let prog = Coverage.Compile.compile tus in
+      Coverage.Exec.run env prog ~entry ~args:[]
+  in
   let files =
     List.filter_map
       (fun (tu : Cfront.Ast.tu) ->

@@ -12,6 +12,14 @@ type result = {
 (** Parse-free entry point: execute the given units from [entry] and
     score coverage for the files named in [measured]; other files (test
     drivers) execute but are not scored.  [origin] names the run for
-    first-covering attribution (default ["run:<entry>"]). *)
+    first-covering attribution (default ["run:<entry>"]).  [engine]
+    selects the tree-walking oracle (default) or the bytecode engine;
+    the two are observationally identical
+    ([test/test_bytecode_diff.ml]). *)
 val run :
-  ?origin:string -> ?entry:string -> measured:string list -> Cfront.Ast.tu list -> result
+  ?origin:string ->
+  ?engine:Coverage.Scenario.engine ->
+  ?entry:string ->
+  measured:string list ->
+  Cfront.Ast.tu list ->
+  result

@@ -221,6 +221,85 @@ let test_yolo_output_scenarios () =
     (Util.Strutil.contains_sub ~sub:"scenario1 checksum" result.Cudasim.Runner.output)
 
 (* ------------------------------------------------------------------ *)
+(* Per-test scenario split golden                                       *)
+(*                                                                      *)
+(* The scenario set runs the driver's five test functions as            *)
+(* independent scenarios (one env each) instead of one monolithic       *)
+(* main().  Golden obligation: the combined measured coverage is        *)
+(* unchanged — same per-function statement/branch/condition counts,     *)
+(* same file percentages, same excluded-function counts.  Attribution   *)
+(* (first_covered_by) legitimately differs (it now names the specific   *)
+(* covering test), so it is not part of the comparison.                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_scenarios_golden () =
+  (* ONE parse shared by both runs, as in production *)
+  let tus = Corpus.Yolo_src.parse_all () in
+  let measured = List.map fst Corpus.Yolo_src.measured_files in
+  let run_entries entries =
+    let col = Coverage.Collector.create () in
+    let env = Coverage.Interp.create ~hooks:(Coverage.Collector.hooks col) () in
+    List.iter
+      (fun e ->
+        match Coverage.Interp.run env tus ~entry:e ~args:[] with
+        | Ok _ -> ()
+        | Error err -> Alcotest.failf "entry %s failed: %s" e err)
+      entries;
+    col
+  in
+  let mono = run_entries [ Corpus.Yolo_src.entry ] in
+  let split =
+    Coverage.Collector.merge
+      (List.map
+         (fun fn -> run_entries [ fn ])
+         Corpus.Yolo_src.scenario_entries)
+  in
+  let lines col =
+    List.concat_map
+      (fun (tu : Cfront.Ast.tu) ->
+        if not (List.mem tu.Cfront.Ast.tu_file measured) then []
+        else
+          let f =
+            Coverage.Collector.score_file col ~file:tu.Cfront.Ast.tu_file
+              (Coverage.Instrument.of_tu tu)
+          in
+          Printf.sprintf "%s excluded=%d stmt=%.6f branch=%.6f mcdc=%.6f fn=%.6f"
+            f.Coverage.Collector.file f.Coverage.Collector.excluded
+            f.Coverage.Collector.stmt_pct f.Coverage.Collector.branch_pct
+            f.Coverage.Collector.mcdc_pct f.Coverage.Collector.function_pct
+          :: List.map
+               (fun (fc : Coverage.Collector.func_coverage) ->
+                 Printf.sprintf
+                   "  %s called=%b stmt=%d/%d branch=%d/%d cond=%d/%d"
+                   fc.Coverage.Collector.fp.Coverage.Instrument.fp_name
+                   fc.Coverage.Collector.called
+                   fc.Coverage.Collector.stmts_hit
+                   fc.Coverage.Collector.stmts_total
+                   fc.Coverage.Collector.branches_hit
+                   fc.Coverage.Collector.branches_total
+                   fc.Coverage.Collector.conditions_hit
+                   fc.Coverage.Collector.conditions_total)
+               f.Coverage.Collector.functions)
+      tus
+  in
+  let mono_lines = lines mono in
+  Alcotest.(check bool) "golden is nonempty" true (mono_lines <> []);
+  Alcotest.(check (list string)) "split == monolithic on measured files"
+    mono_lines (lines split)
+
+let test_split_scenarios_in_set () =
+  let set = Corpus.Scenario_set.full () in
+  List.iter
+    (fun fn ->
+      Alcotest.(check bool)
+        (fn ^ " has its own scenario") true
+        (List.exists
+           (fun (sc : Coverage.Scenario.t) ->
+             sc.Coverage.Scenario.sc_entries = [ fn ])
+           set.Corpus.Scenario_set.scenarios))
+    Corpus.Yolo_src.scenario_entries
+
+(* ------------------------------------------------------------------ *)
 (* Embedded stencil sources                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -300,6 +379,10 @@ let () =
           Alcotest.test_case "scenarios pass" `Quick test_yolo_scenarios_pass;
           Alcotest.test_case "coverage shape matches Figure 5" `Quick test_yolo_coverage_shape;
           Alcotest.test_case "scenario output" `Quick test_yolo_output_scenarios;
+          Alcotest.test_case "split scenarios golden" `Slow
+            test_split_scenarios_golden;
+          Alcotest.test_case "split scenarios in set" `Slow
+            test_split_scenarios_in_set;
         ] );
       ( "stencil",
         [

@@ -293,17 +293,17 @@ let totals () = Analyses.totals_of (Lazy.force summaries)
    the same sites, but these goldens pin the CFG path); 2.2 grew from
    effect-free statements only to effect-free + dead stores. *)
 let test_golden_21 () =
-  Alcotest.(check int) "2.1 unreachable regions" 8 (rule_count "2.1")
+  Alcotest.(check int) "2.1 unreachable regions" 9 (rule_count "2.1")
 
 let test_golden_22 () =
-  Alcotest.(check int) "2.2 dead code" 1099 (rule_count "2.2")
+  Alcotest.(check int) "2.2 dead code" 1031 (rule_count "2.2")
 
 let test_golden_91 () =
   Alcotest.(check int) "9.1 uninitialized reads" 9 (rule_count "9.1")
 
 let test_golden_df () =
-  Alcotest.(check int) "DF-1 dead stores" 1165 (rule_count "DF-1");
-  Alcotest.(check int) "DF-2 propagated constants" 150 (rule_count "DF-2")
+  Alcotest.(check int) "DF-1 dead stores" 1103 (rule_count "DF-1");
+  Alcotest.(check int) "DF-2 propagated constants" 160 (rule_count "DF-2")
 
 let test_crossval_21_vs_summaries () =
   Alcotest.(check int) "rule 2.1 agrees with the per-function summaries"

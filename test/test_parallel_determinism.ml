@@ -219,6 +219,43 @@ let test_coverage_oracle_stable () =
   Alcotest.(check bool) "fault scenarios present" true (has "detections-");
   Alcotest.(check bool) "testgen probes present" true (has "testgen-probes")
 
+(* ------------------------------------------------------------------ *)
+(* Corpus generation differential                                       *)
+(*                                                                      *)
+(* Module generation fans out over the pool (one task per module, each   *)
+(* with a private SplitMix64 stream and name-id base), so the generated  *)
+(* sources — every path and every byte of content — must be identical    *)
+(* at every jobs value, and across repeated runs at the same value.      *)
+(* ------------------------------------------------------------------ *)
+
+let generate_sources ~jobs =
+  Util.Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Util.Pool.set_default_jobs restore_jobs)
+  @@ fun () ->
+  List.map
+    (fun (f : Cfront.Project.source_file) ->
+      (f.Cfront.Project.path, f.Cfront.Project.content))
+    (Cfront.Project.all_files
+       (Corpus.Generator.generate ~seed:2019 Corpus.Apollo_profile.small))
+
+let corpus_oracle = lazy (generate_sources ~jobs:1)
+
+let check_corpus_equal ~jobs =
+  let oracle = Lazy.force corpus_oracle in
+  let par = generate_sources ~jobs in
+  Alcotest.(check (list (pair string string)))
+    (Printf.sprintf "generated sources byte-identical at jobs=%d" jobs)
+    oracle par
+
+let test_corpus_gen_stable () =
+  let a = Lazy.force corpus_oracle in
+  let b = generate_sources ~jobs:1 in
+  Alcotest.(check (list (pair string string))) "sequential runs agree" a b;
+  Alcotest.(check bool) "corpus nonempty" true (a <> [])
+
+let test_corpus_gen_jobs2 () = check_corpus_equal ~jobs:2
+let test_corpus_gen_jobs8 () = check_corpus_equal ~jobs:8
+
 let test_reports_jobs4 () =
   check_jobs_equal ~oracle:(Lazy.force oracle) ~jobs:4
 
@@ -252,6 +289,15 @@ let () =
             test_counters_jobs4;
           Alcotest.test_case "merged counters at jobs=2" `Slow
             test_counters_jobs2;
+        ] );
+      ( "corpus-gen",
+        [
+          Alcotest.test_case "generator oracle is stable" `Slow
+            test_corpus_gen_stable;
+          Alcotest.test_case "generated sources at jobs=2" `Slow
+            test_corpus_gen_jobs2;
+          Alcotest.test_case "generated sources at jobs=8" `Slow
+            test_corpus_gen_jobs8;
         ] );
       ( "coverage",
         [
