@@ -1,4 +1,4 @@
-.PHONY: all build test check check-par bench bench-diff clean
+.PHONY: all build test check check-par check-cache bench bench-diff clean
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # regress at most 50% (wall time on a shared CI box is noisy; the
 # threshold catches step changes, not jitter — see `adcheck bench-diff
 # --help` for the floor that also ignores sub-millisecond drift).
-check: build test check-par
+check: build test check-par check-cache
 	dune build bench/main.exe
 	dune exec bin/adcheck.exe -- dataflow --scale small \
 	  --metrics _build/check-metrics.json
@@ -33,6 +33,32 @@ check: build test check-par
 	  --out _build/check-bench6.json compile
 	dune exec bin/adcheck.exe -- bench-diff \
 	  BENCH_6.json _build/check-bench6.json --fail-on-regress 50
+	dune exec bench/main.exe -- --scale small \
+	  --out _build/check-bench7.json incremental
+	dune exec bin/adcheck.exe -- bench-diff \
+	  BENCH_7.json _build/check-bench7.json --fail-on-regress 50
+
+# Cache differential gate, end-to-end through the CLI: the same audit
+# three ways — no cache (the jobs=1 oracle), cold against an empty
+# store, then warm from the store the cold run just populated — must
+# produce byte-identical reports and adcheck-evidence/1 journals.
+# test_cache_diff locks the same contract in-process (plus incremental
+# edits, corrupt stores and QCheck edit sequences); this target locks
+# the shipped binary's --cache threading.
+check-cache: build
+	rm -rf _build/check-cache-store
+	dune exec bin/adcheck.exe -- audit --scale small --seed 7 --jobs 1 \
+	  --evidence _build/cc-oracle.jsonl > _build/cc-oracle.out
+	dune exec bin/adcheck.exe -- audit --scale small --seed 7 --jobs 1 \
+	  --cache _build/check-cache-store \
+	  --evidence _build/cc-cold.jsonl > _build/cc-cold.out
+	dune exec bin/adcheck.exe -- audit --scale small --seed 7 --jobs 1 \
+	  --cache _build/check-cache-store \
+	  --evidence _build/cc-warm.jsonl > _build/cc-warm.out
+	cmp _build/cc-oracle.out _build/cc-cold.out
+	cmp _build/cc-oracle.out _build/cc-warm.out
+	cmp _build/cc-oracle.jsonl _build/cc-cold.jsonl
+	cmp _build/cc-oracle.jsonl _build/cc-warm.jsonl
 
 # Run the whole suite under 1, 2 and 8 worker domains.  ADCHECK_JOBS=1
 # is the sequential oracle; any divergence at 2 or 8 is a determinism
@@ -49,6 +75,16 @@ check-par:
 	for j in 1 2 8; do \
 	  echo "== dune runtest (ADCHECK_JOBS=$$j) =="; \
 	  ADCHECK_JOBS=$$j dune runtest --force || exit 1; \
+	done
+	rm -rf _build/check-par-store
+	dune build bin/adcheck.exe
+	dune exec bin/adcheck.exe -- audit --scale small --seed 7 --jobs 1 \
+	  > _build/cp-oracle.out
+	for j in 1 2 8; do \
+	  echo "== adcheck audit --cache (jobs=$$j) =="; \
+	  dune exec bin/adcheck.exe -- audit --scale small --seed 7 --jobs $$j \
+	    --cache _build/check-par-store > _build/cp-cache-$$j.out || exit 1; \
+	  cmp _build/cp-oracle.out _build/cp-cache-$$j.out || exit 1; \
 	done
 
 # Machine-readable performance records: per-experiment wall time plus
@@ -73,6 +109,12 @@ check-par:
 # coverage.engine.*.steps counters are the work-tier record (exact
 # across the jobs sweep — `make check` gates a fresh run against it)
 # and the bench.compile.*_ms gauges hold the wall times.
+# BENCH_7.json measures the incremental audit cache: the same audit
+# cold (empty store), warm (same tree) and after a one-file edit; the
+# cache.{hit,miss,invalidate} counters are the work-tier record and
+# the bench.incremental.{cold,warm,edit}_ms / *_misses gauges hold the
+# per-pass wall times and recompute counts.  The edit pass must
+# recompute measurably fewer artifacts than the cold pass.
 bench:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --scale small --out BENCH_1.json \
@@ -87,6 +129,8 @@ bench:
 	  --metrics METRICS_5.json overhead table1
 	dune exec bench/main.exe -- --scale small --jobs 1,4 --out BENCH_6.json \
 	  compile
+	dune exec bench/main.exe -- --scale small --out BENCH_7.json \
+	  incremental
 
 # Regression gate self-check over the committed records: a record must
 # always be identical to itself, for both schemas the gate reads

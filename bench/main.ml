@@ -667,6 +667,120 @@ let run_overhead () =
      (spans, counters, histograms, GC phases and pool metrics all recording)\n"
     disabled_ms enabled_ms ratio
 
+(* 7: incremental audit under the content-addressed cache ------------- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let append_probe (p : Cfront.Project.t) path =
+  { p with
+    Cfront.Project.p_modules =
+      List.map
+        (fun (m : Cfront.Project.modul) ->
+          { m with
+            Cfront.Project.m_files =
+              List.map
+                (fun (f : Cfront.Project.source_file) ->
+                  if f.Cfront.Project.path = path then
+                    { f with
+                      Cfront.Project.content =
+                        f.Cfront.Project.content
+                        ^ "\nint bench_incremental_probe() { return 7; }\n" }
+                  else f)
+                m.Cfront.Project.m_files })
+        p.Cfront.Project.p_modules }
+
+let run_incremental () =
+  heading "Incremental audit - cold vs warm vs one-file edit under the cache";
+  (* A scratch store under the system temp dir, wiped before the passes
+     so the hit/miss/invalidate counts are deterministic across bench
+     runs, and removed again afterwards. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "adcheck-bench-cache"
+  in
+  rm_rf dir;
+  let store = Cache.open_dir dir in
+  let ratios =
+    List.map (fun (l, r) -> (l, r)) (Gpuperf.Suites.gemm_comparison ~device:gpu)
+    @ List.map (fun (l, _, r) -> (l, r)) (Gpuperf.Suites.conv_comparison ~device:gpu)
+  in
+  let specs =
+    match !bench_scale with
+    | `Full -> Corpus.Apollo_profile.full
+    | `Small -> Corpus.Apollo_profile.small
+  in
+  let project = Corpus.Generator.generate ~seed:!bench_seed specs in
+  let edited =
+    match
+      List.find_opt
+        (fun (f : Cfront.Project.source_file) -> not f.Cfront.Project.header)
+        (Cfront.Project.all_files project)
+    with
+    | Some f -> append_probe project f.Cfront.Project.path
+    | None -> project
+  in
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_global None;
+      Telemetry.set_enabled was_enabled;
+      rm_rf dir)
+  @@ fun () ->
+  Cache.set_global (Some store);
+  let pass project =
+    let b = Cache.stats store in
+    let inv0 = Telemetry.counter "cache.invalidate" in
+    let t0 = Telemetry.now_us () in
+    ignore
+      (Iso26262.Audit.run ~seed:!bench_seed ~specs ~project
+         ~open_vs_closed:ratios ());
+    let ms = (Telemetry.now_us () -. t0) /. 1e3 in
+    let a = Cache.stats store in
+    ( ms,
+      a.Cache.hits - b.Cache.hits,
+      a.Cache.misses - b.Cache.misses,
+      Telemetry.counter "cache.invalidate" - inv0 )
+  in
+  let cold_ms, cold_hits, cold_misses, _ = pass project in
+  let warm_ms, warm_hits, warm_misses, _ = pass project in
+  let edit_ms, edit_hits, edit_misses, edit_inv = pass edited in
+  Telemetry.set_gauge "bench.incremental.cold_ms" cold_ms;
+  Telemetry.set_gauge "bench.incremental.warm_ms" warm_ms;
+  Telemetry.set_gauge "bench.incremental.edit_ms" edit_ms;
+  Telemetry.set_gauge "bench.incremental.cold_misses" (float_of_int cold_misses);
+  Telemetry.set_gauge "bench.incremental.warm_misses" (float_of_int warm_misses);
+  Telemetry.set_gauge "bench.incremental.edit_misses" (float_of_int edit_misses);
+  Telemetry.set_gauge "bench.incremental.edit_invalidated" (float_of_int edit_inv);
+  let tbl =
+    Util.Table.make ~title:"audit wall time and cache traffic per pass"
+      ~header:[ "pass"; "wall"; "hits"; "misses"; "invalidated" ]
+      ~aligns:
+        [ Util.Table.Left; Util.Table.Right; Util.Table.Right;
+          Util.Table.Right; Util.Table.Right ]
+      ()
+  in
+  let row tbl name ms hits misses inv =
+    Util.Table.add_row tbl
+      [ name; Printf.sprintf "%.1f ms" ms; string_of_int hits;
+        string_of_int misses; string_of_int inv ]
+  in
+  let tbl = row tbl "cold (empty store)" cold_ms cold_hits cold_misses 0 in
+  let tbl = row tbl "warm (same tree)" warm_ms warm_hits warm_misses 0 in
+  let tbl = row tbl "one-file edit" edit_ms edit_hits edit_misses edit_inv in
+  print_string (Util.Table.render tbl);
+  Printf.printf
+    "\none-file edit recomputes %d artifact(s) vs %d cold (%.0f%% served warm)\n"
+    edit_misses cold_misses
+    (100.0
+    *. float_of_int edit_hits
+    /. Float.max 1.0 (float_of_int (edit_hits + edit_misses)))
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
@@ -802,6 +916,7 @@ let experiments =
     ("interproc", run_interproc);
     ("plan", run_plan);
     ("overhead", run_overhead);
+    ("incremental", run_incremental);
     ("micro", run_micro);
   ]
 

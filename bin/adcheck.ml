@@ -65,6 +65,20 @@ let evidence_arg =
   in
   Arg.(value & opt (some string) None & info [ "evidence" ] ~docv:"FILE" ~doc)
 
+let cache_arg =
+  let doc =
+    "Persistent content-addressed artifact cache in $(docv) (created if \
+     missing).  Analysis artifacts — parse trees, per-file dataflow \
+     fixpoints, per-rule MISRA results, compiled bytecode, coverage-phase \
+     outcomes — are served warm when their content keys match and \
+     invalidated when a file or one of its include/call-graph dependencies \
+     changes.  Off by default: the cold jobs=1 run stays the oracle, and \
+     warm runs are byte-identical to it (reports, evidence journals, \
+     finding ids).  Hit/miss/invalidation counters flow through the \
+     $(b,cache.*) flight-recorder counters ($(b,--metrics))."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
 (* An unwritable output path is a user error, not a crash: one line on
    stderr, exit 1.  The Sys_error message already names the path. *)
 let try_write what f =
@@ -77,21 +91,38 @@ let try_write what f =
     every subcommand. *)
 let telemetry_term =
   Term.(
-    const (fun trace stats metrics evidence verbose jobs ->
-        (trace, stats, metrics, evidence, verbose, jobs))
+    const (fun trace stats metrics evidence verbose jobs cache ->
+        (trace, stats, metrics, evidence, verbose, jobs, cache))
     $ trace_arg $ stats_arg $ metrics_arg $ evidence_arg $ verbose_arg
-    $ jobs_arg)
+    $ jobs_arg $ cache_arg)
 
 (** Run [f] under a per-subcommand telemetry span; afterwards write the
     Chrome trace, the metrics record, the evidence journal and/or print
     the stats tables when requested.  The exporters run even if [f]
     raises, so a failed run still leaves a trace to look at. *)
-let with_telemetry ~cmd (trace, stats, metrics, evidence, verbose, jobs) f =
+let with_telemetry ~cmd (trace, stats, metrics, evidence, verbose, jobs, cache_dir)
+    f =
   if verbose && Util.Log.level () = Util.Log.Warn then
     Util.Log.set_level Util.Log.Info;
   Option.iter Util.Pool.set_default_jobs jobs;
   if trace <> None || metrics <> None || stats then Telemetry.set_enabled true;
+  (match cache_dir with
+   | Some d ->
+     (try Cache.set_global (Some (Cache.open_dir d))
+      with Sys_error e ->
+        Printf.eprintf "adcheck: cannot open cache directory: %s\n" e;
+        exit 1)
+   | None -> ());
   let finish () =
+    (match (Cache.global (), cache_dir) with
+     | Some c, Some _ ->
+       let s = Cache.stats c in
+       Util.Log.info
+         "cache %s: %d hit(s), %d miss(es), %d store(s), %d invalidated, %d \
+          corrupt"
+         (Cache.dir c) s.Cache.hits s.Cache.misses s.Cache.stores
+         s.Cache.invalidated s.Cache.corrupt
+     | _ -> ());
     (match trace with
      | Some path ->
        try_write "Chrome trace" (fun () -> Telemetry.write_chrome_trace ~path);
@@ -663,6 +694,100 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ telemetry_term)
 
 (* ------------------------------------------------------------------ *)
+(* serve: long-running audit service over a line protocol               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run seed scale tele =
+    with_telemetry ~cmd:"serve" tele @@ fun () ->
+    let default_seed = seed and default_scale = scale in
+    let cache_stats () =
+      match Cache.global () with
+      | None -> { Cache.hits = 0; misses = 0; stores = 0; corrupt = 0;
+                  invalidated = 0 }
+      | Some c -> Cache.stats c
+    in
+    let stats_line (s : Cache.stats) =
+      Printf.sprintf "hits=%d misses=%d stores=%d invalidated=%d corrupt=%d"
+        s.Cache.hits s.Cache.misses s.Cache.stores s.Cache.invalidated
+        s.Cache.corrupt
+    in
+    (* one request: audit [seed=N] [scale=full|small] *)
+    let handle_audit args =
+      let seed = ref default_seed and scale = ref default_scale in
+      let bad = ref None in
+      List.iter
+        (fun arg ->
+          match String.index_opt arg '=' with
+          | Some i -> (
+            let k = String.sub arg 0 i in
+            let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+            match (k, v, int_of_string_opt v) with
+            | "seed", _, Some n -> seed := n
+            | "scale", "full", _ -> scale := `Full
+            | "scale", "small", _ -> scale := `Small
+            | _ -> bad := Some arg)
+          | None -> bad := Some arg)
+        args;
+      match !bad with
+      | Some arg -> Printf.printf "err bad argument %S\n" arg
+      | None ->
+        let before = cache_stats () in
+        let t0 = Telemetry.now_us () in
+        (match
+           Iso26262.Audit.run ~seed:!seed ~specs:(specs_of !scale)
+             ~open_vs_closed:(gpu_ratios ()) ()
+         with
+         | audit ->
+           let report = Iso26262.Audit.render audit in
+           let after = cache_stats () in
+           Printf.printf "report %d\n" (String.length report);
+           print_string report;
+           Printf.printf "done seed=%d hits=%d misses=%d invalidated=%d wall_ms=%.0f\n"
+             !seed
+             (after.Cache.hits - before.Cache.hits)
+             (after.Cache.misses - before.Cache.misses)
+             (after.Cache.invalidated - before.Cache.invalidated)
+             ((Telemetry.now_us () -. t0) /. 1e3)
+         | exception e -> Printf.printf "err audit failed: %s\n" (Printexc.to_string e))
+    in
+    print_string "adcheck-serve/1 ready\n";
+    flush stdout;
+    let quit = ref false in
+    while not !quit do
+      match input_line stdin with
+      | exception End_of_file -> quit := true
+      | line ->
+        let words =
+          List.filter (fun s -> s <> "")
+            (String.split_on_char ' ' (String.trim line))
+        in
+        (match words with
+         | [] -> ()
+         | [ "ping" ] -> print_string "pong\n"
+         | [ "quit" ] | [ "exit" ] ->
+           print_string "bye\n";
+           quit := true
+         | [ "stats" ] -> Printf.printf "stats %s\n" (stats_line (cache_stats ()))
+         | "audit" :: args -> handle_audit args
+         | w :: _ -> Printf.printf "err unknown command %S\n" w);
+        flush stdout
+    done
+  in
+  let doc =
+    "Run a long-lived audit service over a stdin/stdout line protocol: \
+     $(b,ping) -> $(b,pong); $(b,stats) -> cumulative cache counters; \
+     $(b,audit [seed=N] [scale=full|small]) -> $(b,report <bytes>) followed \
+     by the report and a $(b,done) line with the request's cache \
+     hit/miss/invalidation deltas; $(b,quit) ends the session.  With \
+     $(b,--cache DIR) repeated requests answer warm from the artifact \
+     cache — byte-identical to a cold run — so the service can absorb \
+     continuous audit traffic from a CI fleet."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ telemetry_term)
+
+(* ------------------------------------------------------------------ *)
 (* explain: render one finding's why-chain                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -756,4 +881,5 @@ let () =
        (Cmd.group info
           [ audit_cmd; complexity_cmd; misra_cmd; dataflow_cmd; coverage_cmd;
             gpuperf_cmd; corpus_cmd; check_cmd; callgraph_cmd; interproc_cmd;
-            wcet_cmd; brook_cmd; faults_cmd; explain_cmd; bench_diff_cmd ]))
+            wcet_cmd; brook_cmd; faults_cmd; serve_cmd; explain_cmd;
+            bench_diff_cmd ]))

@@ -1,0 +1,364 @@
+(** Persistent content-addressed artifact store — see cache.mli for the
+    exactness contract.  Implementation notes:
+
+    - One artifact per file, [<kind>-<key>.art], written atomically
+      (temp + rename) so a killed process never leaves a half artifact
+      under a valid name.
+    - Every read re-validates the whole header (magic, salt, kind, key,
+      length, payload digest, owner syntax) before [Marshal.from_string]
+      runs, so flipped bits surface as a counted corrupt entry rather
+      than a wrong-typed value handed to the analyzer.
+    - Counters are atomics: lookups may come from any worker domain
+      (parse fan-out, pipelined audit phases).  Telemetry counters
+      [cache.hit/miss/store/corrupt/evict] mirror them in the work
+      tier — deterministic for a deterministic workload.  The audit
+      layer adds [cache.invalidate]: the size of the manifest-diff
+      invalidation set (changed files + transitive dependents). *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let magic = "adcheck-cache/1"
+
+(* Bump on any change to the marshaled layout of a cached artifact
+   (AST, dataflow summaries, violations, bytecode, coverage outcomes). *)
+let version_salt = "adcheck-cache/1 schema=1"
+
+type t = {
+  cache_dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  stores : int Atomic.t;
+  corrupt : int Atomic.t;
+  invalidated : int Atomic.t;
+  tmp_seq : int Atomic.t;
+}
+
+type store = t
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  corrupt : int;
+  invalidated : int;
+}
+
+let dir t = t.cache_dir
+
+let stats (t : t) : stats =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    stores = Atomic.get t.stores;
+    corrupt = Atomic.get t.corrupt;
+    invalidated = Atomic.get t.invalidated;
+  }
+
+let art_suffix = ".art"
+let is_artifact name = Filename.check_suffix name art_suffix
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755
+    with Sys_error _ when Sys.is_directory d -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Wipe every artifact (schema change): the manifest and all .art files
+   share the suffix, so one sweep resets the store to empty-but-valid. *)
+let wipe_artifacts dirname =
+  Array.iter
+    (fun name ->
+      if is_artifact name then
+        try Sys.remove (Filename.concat dirname name) with Sys_error _ -> ())
+    (Sys.readdir dirname)
+
+let open_dir dirname =
+  mkdir_p dirname;
+  if not (Sys.is_directory dirname) then
+    raise (Sys_error (dirname ^ ": not a directory"));
+  let version_file = Filename.concat dirname "VERSION" in
+  (if Sys.file_exists version_file then begin
+     let prior = try String.trim (read_file version_file) with Sys_error _ -> "" in
+     if prior <> version_salt then begin
+       Util.Log.info
+         "cache %s: version salt mismatch (%S, want %S); wiping artifacts"
+         dirname prior version_salt;
+       wipe_artifacts dirname;
+       write_file version_file (version_salt ^ "\n")
+     end
+   end
+   else write_file version_file (version_salt ^ "\n"));
+  {
+    cache_dir = dirname;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stores = Atomic.make 0;
+    corrupt = Atomic.make 0;
+    invalidated = Atomic.make 0;
+    tmp_seq = Atomic.make 0;
+  }
+
+let key ~kind parts =
+  fnv1a64 (String.concat "\x00" (version_salt :: kind :: parts))
+
+let art_path t ~kind ~key = Filename.concat t.cache_dir (kind ^ "-" ^ key ^ art_suffix)
+
+(* Artifact layout:
+     adcheck-cache/1\n
+     <version salt>\n
+     <kind> <key> <payload length> <payload digest> <owner>\n
+     <payload bytes>
+   The owner field runs to end of line (paths may contain spaces);
+   "-" means no owner. *)
+let render_artifact ~kind ~key ~owner payload =
+  Printf.sprintf "%s\n%s\n%s %s %d %s %s\n%s" magic version_salt kind key
+    (String.length payload) (fnv1a64 payload)
+    (if owner = "" then "-" else owner)
+    payload
+
+(* Parse and validate; [Error reason] on any mismatch. *)
+let parse_artifact ~kind ~key raw =
+  let line_end from =
+    match String.index_from_opt raw from '\n' with
+    | Some i -> Ok i
+    | None -> Error "truncated header"
+  in
+  let ( let* ) = Result.bind in
+  let* e1 = line_end 0 in
+  let* e2 = line_end (e1 + 1) in
+  let* e3 = line_end (e2 + 1) in
+  let l1 = String.sub raw 0 e1 in
+  let l2 = String.sub raw (e1 + 1) (e2 - e1 - 1) in
+  let l3 = String.sub raw (e2 + 1) (e3 - e2 - 1) in
+  if l1 <> magic then Error "bad magic"
+  else if l2 <> version_salt then Error "version salt mismatch"
+  else
+    match String.split_on_char ' ' l3 with
+    | k :: ky :: len :: digest :: _owner_words ->
+      if k <> kind then Error "kind mismatch"
+      else if ky <> key then Error "key mismatch"
+      else begin
+        match int_of_string_opt len with
+        | None -> Error "bad payload length"
+        | Some n ->
+          let payload_start = e3 + 1 in
+          if String.length raw - payload_start <> n then
+            Error "payload length mismatch"
+          else
+            let payload = String.sub raw payload_start n in
+            if fnv1a64 payload <> digest then Error "payload digest mismatch"
+            else Ok payload
+      end
+    | _ -> Error "bad header line"
+
+(* Owner of an artifact file, reading only the header; None when the
+   header itself is unreadable. *)
+let owner_of_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let _magic = input_line ic in
+        let _salt = input_line ic in
+        let header = input_line ic in
+        match String.split_on_char ' ' header with
+        | _kind :: _key :: _len :: _digest :: rest when rest <> [] ->
+          let owner = String.concat " " rest in
+          if owner = "-" then None else Some owner
+        | _ -> None)
+  with Sys_error _ | End_of_file -> None
+
+let find (t : t) ~kind ~key =
+  let path = art_path t ~kind ~key in
+  if not (Sys.file_exists path) then begin
+    Atomic.incr t.misses;
+    Telemetry.incr "cache.miss";
+    None
+  end
+  else begin
+    let validated =
+      match parse_artifact ~kind ~key (read_file path) with
+      | Ok payload ->
+        (* the digest matched, so from_string sees exactly the bytes
+           to_string produced — but guard anyway: a schema change that
+           escaped the salt bump must degrade to a miss, not an abort *)
+        (try Ok (Marshal.from_string payload 0)
+         with _ -> Error "unmarshal failure")
+      | Error _ as e -> e
+      | exception Sys_error e -> Error e
+    in
+    match validated with
+    | Ok v ->
+      Atomic.incr t.hits;
+      Telemetry.incr "cache.hit";
+      Some v
+    | Error reason ->
+      Util.Log.warn "cache %s: corrupt artifact %s (%s); recomputing"
+        t.cache_dir (Filename.basename path) reason;
+      Atomic.incr t.corrupt;
+      Telemetry.incr "cache.corrupt";
+      (try Sys.remove path with Sys_error _ -> ());
+      Atomic.incr t.misses;
+      Telemetry.incr "cache.miss";
+      None
+  end
+
+let store (t : t) ?(owner = "") ~kind ~key v =
+  match Marshal.to_string v [] with
+  | exception Invalid_argument e ->
+    (* abstract/closure value slipped into an artifact type: skip, the
+       cache must never fail the computation it memoizes *)
+    Util.Log.warn "cache %s: cannot serialize %s artifact (%s); skipping"
+      t.cache_dir kind e
+  | payload ->
+    let path = art_path t ~kind ~key in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d" path (Atomic.fetch_and_add t.tmp_seq 1)
+    in
+    (try
+       write_file tmp (render_artifact ~kind ~key ~owner payload);
+       Sys.rename tmp path;
+       Atomic.incr t.stores;
+       Telemetry.incr "cache.store"
+     with Sys_error e ->
+       Util.Log.warn "cache %s: cannot write %s artifact: %s" t.cache_dir kind e;
+       (try Sys.remove tmp with Sys_error _ -> ()))
+
+let memo t ?owner ~kind ~key f =
+  match find t ~kind ~key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    store t ?owner ~kind ~key v;
+    v
+
+let remove_owned (t : t) paths =
+  let removed = ref 0 in
+  Array.iter
+    (fun name ->
+      if is_artifact name then begin
+        let path = Filename.concat t.cache_dir name in
+        match owner_of_file path with
+        | Some owner when List.mem owner paths ->
+          (try
+             Sys.remove path;
+             incr removed
+           with Sys_error _ -> ())
+        | _ -> ()
+      end)
+    (Sys.readdir t.cache_dir);
+  ignore (Atomic.fetch_and_add t.invalidated !removed);
+  Telemetry.add "cache.evict" !removed;
+  !removed
+
+(* ------------------------------------------------------------------ *)
+(* Process-global store                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let global_store : t option Atomic.t = Atomic.make None
+let set_global c = Atomic.set global_store c
+let global () = Atomic.get global_store
+
+let with_global c f =
+  set_global (Some c);
+  Fun.protect ~finally:(fun () -> set_global None) f
+
+(* ------------------------------------------------------------------ *)
+(* Dependency manifest                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Manifest = struct
+  type entry = { e_path : string; e_hash : string; e_deps : string list }
+  type t = { entries : entry list }
+
+  let make triples =
+    {
+      entries =
+        List.sort
+          (fun a b -> compare a.e_path b.e_path)
+          (List.map
+             (fun (p, h, deps) ->
+               { e_path = p; e_hash = h; e_deps = List.sort_uniq compare deps })
+             triples);
+    }
+
+  let changed ~old hashes =
+    let old_tbl = Hashtbl.create 64 in
+    List.iter (fun e -> Hashtbl.replace old_tbl e.e_path e.e_hash) old.entries;
+    let new_tbl = Hashtbl.create 64 in
+    List.iter (fun (p, h) -> Hashtbl.replace new_tbl p h) hashes;
+    let changed = ref [] in
+    (* modified or added *)
+    List.iter
+      (fun (p, h) ->
+        match Hashtbl.find_opt old_tbl p with
+        | Some h' when h' = h -> ()
+        | _ -> changed := p :: !changed)
+      hashes;
+    (* removed *)
+    List.iter
+      (fun e -> if not (Hashtbl.mem new_tbl e.e_path) then changed := e.e_path :: !changed)
+      old.entries;
+    List.sort_uniq compare !changed
+
+  let dependents t seeds =
+    (* reverse edges: dep -> the files that depend on it *)
+    let rev = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        List.iter
+          (fun d ->
+            Hashtbl.replace rev d
+              (e.e_path :: Option.value ~default:[] (Hashtbl.find_opt rev d)))
+          e.e_deps)
+      t.entries;
+    let seen = Hashtbl.create 64 in
+    List.iter (fun s -> Hashtbl.replace seen s ()) seeds;
+    let out = ref [] in
+    let rec visit p =
+      List.iter
+        (fun q ->
+          if not (Hashtbl.mem seen q) then begin
+            Hashtbl.replace seen q ();
+            out := q :: !out;
+            visit q
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt rev p))
+    in
+    List.iter visit seeds;
+    List.sort_uniq compare !out
+
+  let invalidated ~old hashes =
+    let ch = changed ~old hashes in
+    List.sort_uniq compare (ch @ dependents old ch)
+
+  let manifest_key name = key ~kind:"manifest" [ name ]
+
+  let save c ~name m = store c ~kind:"manifest" ~key:(manifest_key name) m
+  let load c ~name : t option = find c ~kind:"manifest" ~key:(manifest_key name)
+end

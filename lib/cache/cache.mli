@@ -1,0 +1,126 @@
+(** Persistent content-addressed artifact store.
+
+    Analysis artifacts (parse trees, per-file dataflow fixpoints,
+    per-rule MISRA results, compiled bytecode programs, coverage-phase
+    outcomes) are keyed by a FNV-1a hash of their inputs — file path +
+    content hash + whatever analysis context the producer folds in — and
+    serialized with [Marshal] under a header that names the schema salt,
+    the kind, the key, the payload length and digest, and an optional
+    {e owner} path used for invalidation.  A lookup re-validates every
+    header field and the payload digest; any mismatch (truncation,
+    garbage, a salt from another tool version) is logged, counted as
+    corrupt, deleted and reported as a miss, so a damaged cache can slow
+    an audit down but never change its output.
+
+    The exactness contract is the caller's: an artifact may only be
+    served where recomputing it would produce byte-identical results.
+    The differential harness in [test_cache_diff] locks that contract —
+    cold, warm and incremental-after-edit runs must agree on report
+    bytes, evidence journals, collector fingerprints and finding ids.
+
+    The store is process-global by convention ([set_global]/[global]):
+    analysis libraries consult [global ()] so that a single [--cache DIR]
+    flag threads through every layer without signature churn. *)
+
+(** 64-bit FNV-1a over the bytes of [s], rendered as 16 lowercase hex
+    digits — the same discipline provenance uses for finding ids. *)
+val fnv1a64 : string -> string
+
+(** Schema salt baked into every artifact header and the store's VERSION
+    file.  Bump it whenever the marshaled layout of any cached artifact
+    changes; stores written under another salt are wiped on open. *)
+val version_salt : string
+
+type t
+
+(** Alias for {!t}, usable inside {!Manifest} where [t] is shadowed. *)
+type store = t
+
+(** Monotone per-store counters (process lifetime, all domains). *)
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  corrupt : int;  (** artifacts that failed header/digest validation *)
+  invalidated : int;  (** artifacts removed by {!remove_owned} *)
+}
+
+(** Open (creating if needed) a store rooted at [dir].  A VERSION file
+    carrying another {!version_salt} wipes all artifacts first.  Raises
+    [Sys_error] if the directory cannot be created or written. *)
+val open_dir : string -> t
+
+val dir : t -> string
+val stats : t -> stats
+
+(** Derive an artifact key from the version salt, the artifact kind and
+    the ordered input parts.  Equal inputs give equal keys across runs,
+    jobs values and processes. *)
+val key : kind:string -> string list -> string
+
+(** [find t ~kind ~key] returns the stored artifact, or [None] on a miss
+    or on a corrupt entry (which is deleted and counted).  The caller
+    must read the value at the type it was stored at — pair every [find]
+    with the [store] of the same [kind]. *)
+val find : t -> kind:string -> key:string -> 'a option
+
+(** Store an artifact (atomic write-then-rename).  [owner] names the
+    source path whose edit invalidates the artifact; artifacts without
+    an owner are self-validating through their key alone.  Serialization
+    or filesystem failures are logged and skipped — the cache never
+    fails the computation it memoizes. *)
+val store : t -> ?owner:string -> kind:string -> key:string -> 'a -> unit
+
+(** [memo t ?owner ~kind ~key f] is [find] else [f () |> store]. *)
+val memo : t -> ?owner:string -> kind:string -> key:string -> (unit -> 'a) -> 'a
+
+(** Remove every artifact owned by one of [paths]; returns the number
+    removed (also counted as invalidated and added to the
+    [cache.evict] telemetry counter).  Because keys are
+    content-addressed this is hygiene, never correctness: callers sweep
+    paths that left the tree for good, so that reverting an edit still
+    finds the original artifacts warm. *)
+val remove_owned : t -> string list -> int
+
+(** Process-global store consulted by the analysis libraries. *)
+val set_global : t option -> unit
+
+val global : unit -> t option
+
+(** Run [f] with the global store bound to [c], restoring [None] after. *)
+val with_global : t -> (unit -> 'a) -> 'a
+
+(** Dependency manifest: the previous run's view of the source tree —
+    per-file content hashes plus the project-internal files each file
+    depends on (includes and resolved call-graph callees) — so the next
+    run can invalidate exactly the changed files and their transitive
+    reverse-dependents before any artifact is consulted. *)
+module Manifest : sig
+  type entry = {
+    e_path : string;
+    e_hash : string;  (** {!fnv1a64} of the file content *)
+    e_deps : string list;  (** project paths this file depends on *)
+  }
+
+  type t = { entries : entry list }
+
+  (** Build from [(path, content_hash, deps)] triples; entries are
+      stored sorted by path so equal trees give equal manifests. *)
+  val make : (string * string * string list) list -> t
+
+  (** Paths added, removed or content-changed between the old manifest
+      and the new [(path, hash)] view.  Sorted. *)
+  val changed : old:t -> (string * string) list -> string list
+
+  (** Transitive reverse-dependents of [seeds] under [t]'s dependency
+      edges (excluding the seeds themselves).  Sorted. *)
+  val dependents : t -> string list -> string list
+
+  (** [changed] plus their transitive reverse-dependents under the old
+      edges — the exact set of files whose cached artifacts must be
+      dropped before a warm run over the new tree.  Sorted. *)
+  val invalidated : old:t -> (string * string) list -> string list
+
+  val save : store -> name:string -> t -> unit
+  val load : store -> name:string -> t option
+end

@@ -34,6 +34,38 @@ type state = {
 let global_eid = Atomic.make 0
 let global_sid = Atomic.make 0
 
+(* Id-trajectory hooks for the artifact cache (Cache/--cache DIR): a
+   cache hit must consume exactly the id range the skipped parse would
+   have allocated, so every later parse in the process starts from the
+   same base a cold run would give it — that is what keeps collector
+   fingerprints (which embed raw eids/sids) byte-identical between cold
+   and warm runs. *)
+let id_state () = (Atomic.get global_eid, Atomic.get global_sid)
+
+let reserve_ids ~eids ~sids =
+  ignore (Atomic.fetch_and_add global_eid eids);
+  ignore (Atomic.fetch_and_add global_sid sids)
+
+(* Only for cache-enabled runs (Iso26262.Audit resets before parsing so
+   the trajectory is process-position-independent and artifacts recorded
+   by one process are hits in the next); never called on the cold
+   no-cache oracle path, whose historical id sequence stays untouched. *)
+let reset_ids () =
+  Atomic.set global_eid 0;
+  Atomic.set global_sid 0
+
+(* Pin the counters to an absolute base.  Cache-enabled coverage phases
+   use fixed, well-separated bases so their parses — and therefore the
+   collector fingerprints and cached outcomes keyed on those ids — are
+   independent of how many ids the corpus consumed before them: editing
+   a corpus file then no longer invalidates the coverage artifacts.
+   Safe because coverage ids never need to be globally unique against
+   corpus ids (each phase scores its own collector over its own parse);
+   like [reset_ids], never called on the cold no-cache oracle path. *)
+let set_ids ~eids ~sids =
+  Atomic.set global_eid eids;
+  Atomic.set global_sid sids
+
 let builtin_type_names =
   [
     "size_t"; "ssize_t"; "ptrdiff_t"; "int8_t"; "int16_t"; "int32_t";

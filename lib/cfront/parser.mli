@@ -21,6 +21,29 @@ exception Parse_error of string * Loc.t
     the raw text (the preprocessor runs internally). *)
 val parse_file : ?extra_types:string list -> file:string -> string -> Ast.tu
 
+(** Current [(next eid, next sid)] of the process-global id counters. *)
+val id_state : unit -> int * int
+
+(** Advance the global id counters by [eids]/[sids] without parsing —
+    called when a cache hit replaces a parse, so the skipped parse still
+    consumes its id range and every later parse starts from the same
+    base a cold run would give it (collector fingerprints embed raw
+    ids, and the cache's cold-vs-warm byte-identity contract covers
+    them). *)
+val reserve_ids : eids:int -> sids:int -> unit
+
+(** Reset the global id counters.  Only cache-enabled pipelines do this
+    (making id trajectories process-position-independent so artifacts
+    recorded by one process are hits in the next); the cold no-cache
+    oracle path never resets. *)
+val reset_ids : unit -> unit
+
+(** Pin the global id counters to an absolute base.  Cache-enabled
+    coverage phases park their parses at fixed, well-separated bases so
+    the artifacts keyed on those ids survive corpus edits; never called
+    on the cold no-cache oracle path. *)
+val set_ids : eids:int -> sids:int -> unit
+
 (** Parse an expression in isolation (tests and tooling). *)
 val parse_expr_string : string -> Ast.expr
 

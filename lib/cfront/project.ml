@@ -21,6 +21,10 @@ type parsed_file = { file : source_file; tu : Ast.tu }
 type parsed = {
   project : t;
   files : parsed_file list;
+  types_key : string;
+      (** hash of the shared type-name pre-scan — part of every per-file
+          cache key, since the parse of one file depends on type names
+          declared in every other *)
 }
 
 let make ~name modules = { p_name = name; p_modules = modules }
@@ -61,6 +65,20 @@ let scan_type_names (files : source_file list) =
   List.sort_uniq compare
     (List.concat (Telemetry.parallel_map type_names_of_file files))
 
+(* Cache keys.  A file's parse depends on its path (locations), its
+   content, and the project-wide type-name scan; the project key folds
+   every path + content, in order.  All hashing is FNV-1a via Cache. *)
+
+let content_key t =
+  Cache.fnv1a64
+    (String.concat "\x00"
+       (List.concat_map (fun f -> [ f.path; f.content ]) (all_files t)))
+
+let file_key parsed (pf : parsed_file) =
+  Cache.fnv1a64
+    (String.concat "\x00"
+       [ pf.file.path; Cache.fnv1a64 pf.file.content; parsed.types_key ])
+
 (* Both the pre-scan and the per-file parse fan out over
    [Telemetry.parallel_map]: files are independent once the shared type
    names are known, results come back in file order, and at --jobs 1 the
@@ -72,12 +90,34 @@ let parse t =
     Telemetry.with_span ~cat:"cfront" "parse.scan_types" (fun () ->
         scan_type_names (all_files t))
   in
+  let types_key = Cache.fnv1a64 (String.concat "\x00" extra_types) in
   let files =
     Telemetry.parallel_map
       (fun f ->
         let pf =
           Telemetry.timed "parse.file_us" @@ fun () ->
-          { file = f; tu = Parser.parse_file ~extra_types ~file:f.path f.content }
+          let fresh () =
+            { file = f; tu = Parser.parse_file ~extra_types ~file:f.path f.content }
+          in
+          match Cache.global () with
+          | None -> fresh ()
+          | Some c ->
+            (* Content-addressed parse artifact.  On a hit the skipped
+               parse must still consume its global id range so later
+               parses start from cold-identical bases (the cached tu
+               carries the ids it was recorded with). *)
+            let key =
+              Cache.key ~kind:"parse"
+                [ f.path; Cache.fnv1a64 f.content; types_key ]
+            in
+            (match Cache.find c ~kind:"parse" ~key with
+             | Some (tu : Ast.tu) ->
+               Parser.reserve_ids ~eids:tu.Ast.n_exprs ~sids:tu.Ast.n_stmts;
+               { file = f; tu }
+             | None ->
+               let pf = fresh () in
+               Cache.store c ~owner:f.path ~kind:"parse" ~key pf.tu;
+               pf)
         in
         Telemetry.observe "parse.file_ast_nodes"
           (float_of_int (pf.tu.Ast.n_exprs + pf.tu.Ast.n_stmts));
@@ -101,7 +141,7 @@ let parse t =
   Telemetry.end_span sp
     ~attrs:[ ("files", string_of_int n_files);
              ("ast_nodes", string_of_int ast_nodes) ];
-  { project = t; files }
+  { project = t; files; types_key }
 
 let parsed_files_of_module parsed modname =
   List.filter (fun pf -> pf.file.modname = modname) parsed.files

@@ -18,7 +18,11 @@ type t = { p_name : string; p_modules : modul list }
 
 type parsed_file = { file : source_file; tu : Ast.tu }
 
-type parsed = { project : t; files : parsed_file list }
+type parsed = {
+  project : t;
+  files : parsed_file list;
+  types_key : string;  (** hash of the shared type-name pre-scan *)
+}
 
 val make : name:string -> modul list -> t
 val all_files : t -> source_file list
@@ -32,6 +36,16 @@ val scan_type_names : source_file list -> string list
 (** Parse every file, seeding each unit's type registry with
     {!scan_type_names} of the whole project. *)
 val parse : t -> parsed
+
+(** Cache key for the whole source tree: every path + content, in
+    order.  Whole-project artifacts (per-rule MISRA results) key on
+    this. *)
+val content_key : t -> string
+
+(** Cache key for one parsed file: path + content hash + the shared
+    type-name scan.  Per-file artifacts (dataflow summaries) key on
+    this. *)
+val file_key : parsed -> parsed_file -> string
 
 val parsed_files_of_module : parsed -> string -> parsed_file list
 val module_names : t -> string list

@@ -764,7 +764,7 @@ let compile_fn p (fn : A.func) : B.cfn =
   in
   { cfn with B.cf_max_stack = B.validate cfn }
 
-let compile (tus : A.tu list) : B.program =
+let compile_uncached (tus : A.tu list) : B.program =
   (* pass 1: replica symbol tables.  [findex] receives exactly the key
      operations [Interp.load_tu] performs on [env.funcs] (same initial
      capacity, same replace/mem sequence), so Hashtbl.fold visits keys
@@ -813,3 +813,18 @@ let compile (tus : A.tu list) : B.program =
     p_pool = Array.of_list (List.rev p.pool_rev);
     p_index = findex;
   }
+
+(* Cached entry point.  The key hashes the marshaled tu list, which
+   embeds every eid/sid operand the probe instructions will carry — so
+   an artifact recorded under one id trajectory can only hit when the
+   current parse reproduces those exact bytes, making the artifact
+   self-validating (a mismatched trajectory is a miss and a recompile,
+   never a wrong program).  No owner: the key alone decides validity. *)
+let compile (tus : A.tu list) : B.program =
+  match Cache.global () with
+  | None -> compile_uncached tus
+  | Some c ->
+    let key =
+      Cache.key ~kind:"bytecode" [ Cache.fnv1a64 (Marshal.to_string tus []) ]
+    in
+    Cache.memo c ~kind:"bytecode" ~key (fun () -> compile_uncached tus)

@@ -105,13 +105,51 @@ let run_all ?(engine = Tree) scenarios =
   let program_for =
     match engine with Tree -> fun _ -> None | Bytecode -> compile_cache scenarios
   in
+  (* With the artifact cache enabled, whole outcomes are memoized.  The
+     key hashes the marshaled tu list — which embeds every eid/sid the
+     collector will key on — plus engine, name and entries, so a cached
+     outcome can only hit when replaying it is byte-identical to
+     re-running (fingerprints included).  Hashed once per distinct parse,
+     mirroring [compile_cache]'s physical-equality grouping.  The stored
+     value carries the findings the run recorded (coverage runs journal
+     through scoring, not here, but the capture keeps the journal exact
+     if that ever changes). *)
+  let outcome_key =
+    match Cache.global () with
+    | None -> fun _ -> None
+    | Some _ ->
+      let same_tus a b =
+        List.compare_lengths a b = 0 && List.for_all2 ( == ) a b
+      in
+      let hashes =
+        List.fold_left
+          (fun acc sc ->
+            if List.exists (fun (tus, _) -> same_tus tus sc.sc_tus) acc then acc
+            else
+              (sc.sc_tus, Cache.fnv1a64 (Marshal.to_string sc.sc_tus [])) :: acc)
+          [] scenarios
+      in
+      fun sc ->
+        Option.map
+          (fun (_, h) ->
+            Cache.key ~kind:"scenario"
+              [ h; engine_name engine; sc.sc_name;
+                String.concat "\x00" sc.sc_entries ])
+          (List.find_opt (fun (tus, _) -> same_tus tus sc.sc_tus) hashes)
+  in
   List.map
     (fun (outcome, findings) ->
       Provenance.absorb findings;
       outcome)
     (Telemetry.parallel_map ~chunk_size:1
        (fun sc ->
-         Provenance.collect (fun () -> run_one ~engine ?program:(program_for sc) sc))
+         let cold () =
+           Provenance.collect (fun () -> run_one ~engine ?program:(program_for sc) sc)
+         in
+         match (Cache.global (), outcome_key sc) with
+         | Some c, Some key ->
+           Cache.memo c ~kind:"scenario" ~key cold
+         | _ -> cold ())
        scenarios)
 
 let merged_collector outcomes =

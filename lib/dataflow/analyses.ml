@@ -634,6 +634,31 @@ let summarize_functions fns =
       Telemetry.add "dataflow.functions" (List.length summaries);
       summaries)
 
+(** [summarize_file ~path ~key fns] is {!summarize_functions} memoized
+    in the global artifact cache (when enabled) under the per-file cache
+    key the caller derived (path + content hash + type-scan hash, see
+    [Cfront.Project.file_key]).  The artifact stores the summaries
+    {e and} the provenance findings the solves recorded, so a hit
+    replays the findings and the evidence journal stays byte-identical
+    to a cold run.  [path] owns the artifact for invalidation. *)
+let summarize_file ~path ~key fns =
+  match Cache.global () with
+  | None -> summarize_functions fns
+  | Some c ->
+    let ckey = Cache.key ~kind:"dataflow" [ key ] in
+    (match Cache.find c ~kind:"dataflow" ~key:ckey with
+     | Some ((summaries : func_summary list), findings) ->
+       Provenance.absorb findings;
+       Telemetry.add "dataflow.functions" (List.length summaries);
+       summaries
+     | None ->
+       let summaries, findings =
+         Provenance.collect (fun () -> summarize_functions fns)
+       in
+       Cache.store c ~owner:path ~kind:"dataflow" ~key:ckey (summaries, findings);
+       Provenance.absorb findings;
+       summaries)
+
 type totals = {
   t_functions : int;
   t_blocks : int;

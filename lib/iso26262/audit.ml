@@ -17,6 +17,158 @@ type t = {
   journal : Provenance.finding list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Incremental caching support                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Project-internal include edges: [#include "x"] resolved against the
+   project's own paths.  The generated corpus includes module headers as
+   "modules/<mod>/common.h" while project paths are "<mod>/common.h", so
+   resolution accepts exact matches and suffix containment either way. *)
+let include_deps_of_content ~paths content =
+  let deps = ref [] in
+  let resolve inc =
+    List.iter
+      (fun p ->
+        if
+          p = inc
+          || String.ends_with ~suffix:("/" ^ p) inc
+          || String.ends_with ~suffix:("/" ^ inc) p
+        then deps := p :: !deps)
+      paths
+  in
+  String.split_on_char '\n' content
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if String.length line > 8 && String.sub line 0 8 = "#include" then
+           match String.index_opt line '"' with
+           | None -> ()
+           | Some q0 -> (
+             match String.index_from_opt line (q0 + 1) '"' with
+             | None -> ()
+             | Some q1 -> resolve (String.sub line (q0 + 1) (q1 - q0 - 1))));
+  List.sort_uniq compare !deps
+
+(* Dependency manifest of a parsed tree: per-file content hash plus the
+   project files each file depends on — its quoted includes and the
+   files defining functions it calls (caller depends on callee: editing
+   the callee's file invalidates the caller's whole-program artifacts).
+   Saved after every cache-enabled audit; the next audit diffs its tree
+   against it to invalidate exactly the changed files and their
+   transitive reverse-dependents before consulting any artifact. *)
+let manifest_of_parsed (parsed : Cfront.Project.parsed) =
+  let files = Cfront.Project.all_files parsed.Cfront.Project.project in
+  let paths = List.map (fun f -> f.Cfront.Project.path) files in
+  let file_of_fn = Hashtbl.create 256 in
+  List.iter
+    (fun (pf : Cfront.Project.parsed_file) ->
+      List.iter
+        (fun (fn : Cfront.Ast.func) ->
+          if fn.Cfront.Ast.f_body <> None then
+            Hashtbl.replace file_of_fn
+              (Cfront.Ast.qualified_name fn)
+              pf.Cfront.Project.file.Cfront.Project.path)
+        (Cfront.Ast.functions_of_tu pf.Cfront.Project.tu))
+    parsed.Cfront.Project.files;
+  let call_deps = Hashtbl.create 256 in
+  let graph = Cfront.Callgraph.build (Cfront.Project.all_functions parsed) in
+  List.iter
+    (fun (caller, callee) ->
+      match (Hashtbl.find_opt file_of_fn caller, Hashtbl.find_opt file_of_fn callee) with
+      | Some cf, Some ce when cf <> ce ->
+        Hashtbl.replace call_deps cf
+          (ce :: Option.value ~default:[] (Hashtbl.find_opt call_deps cf))
+      | _ -> ())
+    graph.Cfront.Callgraph.edges;
+  Cache.Manifest.make
+    (List.map
+       (fun (f : Cfront.Project.source_file) ->
+         let deps =
+           include_deps_of_content ~paths f.Cfront.Project.content
+           @ Option.value ~default:[]
+               (Hashtbl.find_opt call_deps f.Cfront.Project.path)
+         in
+         ( f.Cfront.Project.path,
+           Cache.fnv1a64 f.Cfront.Project.content,
+           List.filter (fun d -> d <> f.Cfront.Project.path) deps ))
+       files)
+
+(* Diff the incoming tree against the stored manifest: the invalidation
+   set is every changed file plus its transitive reverse-dependents
+   under the OLD edges.  Because artifact keys are content-addressed, a
+   stale entry can never falsely hit — the set is reported (counter
+   [cache.invalidate], one per invalidated path) rather than swept, so
+   reverting an edit restores the original artifacts as cache hits.
+   Only artifacts owned by paths that left the tree entirely (deletes,
+   the old side of a rename) are physically removed: no future tree can
+   ever hit them.  Runs BEFORE the parse so the fresh artifacts the
+   parse stores are never swept. *)
+let invalidate_against_manifest c (project : Cfront.Project.t) =
+  let hashes =
+    List.map
+      (fun (f : Cfront.Project.source_file) ->
+        (f.Cfront.Project.path, Cache.fnv1a64 f.Cfront.Project.content))
+      (Cfront.Project.all_files project)
+  in
+  match Cache.Manifest.load c ~name:project.Cfront.Project.p_name with
+  | None -> []
+  | Some old ->
+    let inv = Cache.Manifest.invalidated ~old hashes in
+    if inv <> [] then begin
+      let gone =
+        List.filter
+          (fun p -> not (List.mem_assoc p hashes))
+          (List.map (fun (e : Cache.Manifest.entry) -> e.Cache.Manifest.e_path)
+             old.Cache.Manifest.entries)
+      in
+      let removed = if gone = [] then 0 else Cache.remove_owned c gone in
+      Telemetry.add "cache.invalidate" (List.length inv);
+      Util.Log.info
+        "cache: %d changed/dependent file(s) invalidated, %d orphaned \
+         artifact(s) removed"
+        (List.length inv) removed
+    end;
+    inv
+
+(* Memoize a whole coverage phase (parse embedded sources, run the
+   scenarios, score).  Collector fingerprints embed the raw eids/sids
+   the phase's parse assigns, so an artifact recorded at one id base can
+   only be replayed at the same base — the phase therefore pins the
+   global counters to its own fixed [base] first, making the artifact
+   (and the scenario/bytecode artifacts recorded inside the phase)
+   independent of how many ids the corpus consumed: a corpus edit leaves
+   the whole coverage layer warm.  The key still carries the observed
+   entry state as a guard; at jobs>1 two phases can race on the shared
+   counters, in which case the key records a foreign base and the phase
+   conservatively recomputes.  Findings recorded inside the phase
+   (coverage-gap findings from scoring) are captured and replayed so the
+   evidence journal stays byte-identical. *)
+let cached_coverage_phase ~name ~base ~(src_files : (string * string) list) f =
+  match Cache.global () with
+  | None -> f ()
+  | Some c ->
+    Cfront.Parser.set_ids ~eids:base ~sids:base;
+    let e0, s0 = Cfront.Parser.id_state () in
+    let key =
+      Cache.key ~kind:"covphase"
+        [ name;
+          Cache.fnv1a64
+            (String.concat "\x00"
+               (List.concat_map (fun (p, s) -> [ p; s ]) src_files));
+          string_of_int e0; string_of_int s0 ]
+    in
+    (match Cache.find c ~kind:"covphase" ~key with
+     | Some (result, findings, d_eids, d_sids) ->
+       Cfront.Parser.reserve_ids ~eids:d_eids ~sids:d_sids;
+       Provenance.absorb findings;
+       result
+     | None ->
+       let result, findings = Provenance.collect f in
+       let e1, s1 = Cfront.Parser.id_state () in
+       Cache.store c ~kind:"covphase" ~key (result, findings, e1 - e0, s1 - s0);
+       Provenance.absorb findings;
+       result)
+
 let run_yolo_coverage () =
   let tus = Corpus.Yolo_src.parse_all () in
   let measured = List.map fst Corpus.Yolo_src.measured_files in
@@ -29,6 +181,18 @@ let run_stencil_coverage () =
   let measured = List.map fst Corpus.Stencil_src.measured_files in
   let result = Cudasim.Runner.run ~entry:Corpus.Stencil_src.entry ~measured tus in
   (result.Cudasim.Runner.files, result.Cudasim.Runner.exit_value)
+
+(* The audited coverage phases, memoized whole when the cache is on.
+   Bases are far above any corpus id range and far apart from each
+   other, so neither corpus growth nor the sibling phase can reach into
+   a phase's id space at jobs=1. *)
+let yolo_phase () =
+  cached_coverage_phase ~name:"coverage.yolo" ~base:0x1000000
+    ~src_files:Corpus.Yolo_src.files run_yolo_coverage
+
+let stencil_phase () =
+  cached_coverage_phase ~name:"coverage.stencil" ~base:0x2000000
+    ~src_files:Corpus.Stencil_src.files run_stencil_coverage
 
 (** [run ()] audits the default full-scale Apollo-profile corpus.
 
@@ -65,7 +229,7 @@ let record_metric_findings (findings : Assess.finding list) =
     findings
 
 let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
-    ?(thresholds = Assess.default_thresholds) ?(open_vs_closed = []) () =
+    ?(thresholds = Assess.default_thresholds) ?(open_vs_closed = []) ?project () =
   (* The audit owns the journal: every run starts it afresh, so [t.journal]
      is exactly this run's evidence. *)
   Provenance.reset ();
@@ -73,13 +237,35 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
     ~attrs:[ ("seed", string_of_int seed);
              ("modules", string_of_int (List.length specs)) ]
   @@ fun () ->
+  let cache = Cache.global () in
+  (* Cache-enabled runs restart the global id counters, making every
+     audit's id trajectory process-position-independent: artifacts
+     recorded by one process (or an earlier audit in this one) are hits
+     in the next.  The cold no-cache oracle path never resets. *)
+  (match cache with Some _ -> Cfront.Parser.reset_ids () | None -> ());
   (* [gc_phase] wraps each pipeline stage: runtime-tier GC deltas and
      phase wall time per stage (who allocates, who collects), without
      touching the deterministic work-tier data recorded inside. *)
   let project =
-    Telemetry.gc_phase "corpus" (fun () -> Corpus.Generator.generate ~seed specs)
+    match project with
+    | Some p -> p
+    | None ->
+      Telemetry.gc_phase "corpus" (fun () -> Corpus.Generator.generate ~seed specs)
   in
+  (* Invalidation happens before the parse, against the previous run's
+     manifest: changed files and their transitive reverse-dependents
+     lose their artifacts, everything else stays warm. *)
+  (match cache with
+   | Some c -> ignore (invalidate_against_manifest c project)
+   | None -> ());
   let parsed = Telemetry.gc_phase "parse" (fun () -> Cfront.Project.parse project) in
+  (* Record the new tree's manifest (content hashes + include/callgraph
+     edges) for the next run's diff. *)
+  (match cache with
+   | Some c ->
+     Cache.Manifest.save c ~name:project.Cfront.Project.p_name
+       (manifest_of_parsed parsed)
+   | None -> ());
   let metrics, (yolo_coverage, yolo_run_output, yolo_exit),
       (stencil_coverage, stencil_exit) =
     match Util.Pool.global () with
@@ -88,8 +274,8 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
       let metrics =
         Telemetry.gc_phase "metrics" (fun () -> Project_metrics.of_parsed parsed)
       in
-      let yolo = Telemetry.gc_phase "coverage.yolo" run_yolo_coverage in
-      let stencil = Telemetry.gc_phase "coverage.stencil" run_stencil_coverage in
+      let yolo = Telemetry.gc_phase "coverage.yolo" yolo_phase in
+      let stencil = Telemetry.gc_phase "coverage.stencil" stencil_phase in
       (metrics, yolo, stencil)
     | Some pool ->
       (* Pipelined phases: the corpus parse above is the shared prefix;
@@ -124,8 +310,8 @@ let run ?(seed = 2019) ?(specs = Corpus.Apollo_profile.full)
         submit_collected "dataflow" (fun () ->
             Project_metrics.module_dataflow_of_parsed parsed)
       in
-      let f_yolo = submit_collected "coverage.yolo" run_yolo_coverage in
-      let f_stencil = submit_collected "coverage.stencil" run_stencil_coverage in
+      let f_yolo = submit_collected "coverage.yolo" yolo_phase in
+      let f_stencil = submit_collected "coverage.stencil" stencil_phase in
       let metrics =
         Telemetry.gc_phase "metrics" (fun () ->
             Project_metrics.of_parsed_with

@@ -34,16 +34,33 @@ val run_stencil_coverage :
 
 (** Audit a corpus.  Defaults: [seed 2019], the paper-scale Apollo
     profile, the paper's thresholds, no GPU ratios (Observation 12 then
-    reports over an empty set).  Raises [Failure] if an embedded coverage
+    reports over an empty set).  [project] supplies the source tree
+    directly (edited trees for incremental audits); [seed]/[specs] then
+    only label the run.  Raises [Failure] if an embedded coverage
     scenario fails to execute — that would mean the toolchain itself is
-    broken. *)
+    broken.
+
+    When the global artifact cache is enabled ([Cache.set_global] /
+    [--cache DIR]), the run restarts the parser id counters, diffs the
+    tree against the stored dependency manifest, invalidates exactly the
+    changed files and their transitive reverse-dependents, and serves
+    every other artifact warm.  The contract — enforced by
+    [test/test_cache_diff.ml] — is that report bytes, the evidence
+    journal and every finding id are identical to a cold jobs=1 run. *)
 val run :
   ?seed:int ->
   ?specs:Corpus.Apollo_profile.module_spec list ->
   ?thresholds:Assess.thresholds ->
   ?open_vs_closed:(string * float) list ->
+  ?project:Cfront.Project.t ->
   unit ->
   t
+
+(** Dependency manifest of a parsed tree: per-file content hash plus
+    project-internal include + call-graph dependencies (caller depends
+    on callee).  Saved under the project's name after every
+    cache-enabled audit; exposed for the differential tests. *)
+val manifest_of_parsed : Cfront.Project.parsed -> Cache.Manifest.t
 
 (** The 25 findings of all three tables, in table order. *)
 val all_findings : t -> Assess.finding list

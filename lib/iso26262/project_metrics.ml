@@ -58,16 +58,38 @@ type t = {
    jobs=1 oracle. *)
 
 let misra_of_parsed (parsed : Cfront.Project.parsed) =
-  Misra.Registry.run (Misra.Rule.build_context parsed)
+  let cache_key =
+    match Cache.global () with
+    | None -> None
+    | Some _ -> Some (Cfront.Project.content_key parsed.Cfront.Project.project)
+  in
+  Misra.Registry.run ?cache_key (Misra.Rule.build_context parsed)
 
 let module_dataflow_of_parsed (parsed : Cfront.Project.parsed) =
   List.map
     (fun m ->
-      let fns =
-        Cfront.Project.defined_functions
-          (Cfront.Project.parsed_files_of_module parsed m)
+      let pfs = Cfront.Project.parsed_files_of_module parsed m in
+      let summaries =
+        match Cache.global () with
+        | None ->
+          (* cache off: the exact historical code path — one solve over
+             the module's functions *)
+          Dataflow.Analyses.summarize_functions
+            (Cfront.Project.defined_functions pfs)
+        | Some _ ->
+          (* cache on: per-file artifacts.  [defined_functions pfs] is
+             the in-order concatenation of [defined_functions [pf]], so
+             the per-file summaries concatenate to exactly the module
+             solve — same summaries, same finding order. *)
+          List.concat_map
+            (fun pf ->
+              Dataflow.Analyses.summarize_file
+                ~path:pf.Cfront.Project.file.Cfront.Project.path
+                ~key:(Cfront.Project.file_key parsed pf)
+                (Cfront.Project.defined_functions [ pf ]))
+            pfs
       in
-      (m, Dataflow.Analyses.totals_of (Dataflow.Analyses.summarize_functions fns)))
+      (m, Dataflow.Analyses.totals_of summaries))
     (Cfront.Project.module_names parsed.Cfront.Project.project)
 
 let of_parsed_with ~(misra : unit -> Misra.Registry.report)

@@ -81,7 +81,7 @@ let finding_of_violation (r : Rule.t) (v : Rule.violation) =
   Provenance.make ~kind:"misra" ~analysis:r.Rule.id ~loc:v.Rule.loc
     ~message:v.Rule.message ~witness ()
 
-let run ?(rules = all_rules) ?(deviations = []) ctx =
+let run ?(rules = all_rules) ?(deviations = []) ?cache_key ctx =
   Telemetry.with_span ~cat:"misra" "misra"
     ~attrs:[ ("rules", string_of_int (List.length rules)) ]
     (fun () ->
@@ -100,7 +100,20 @@ let run ?(rules = all_rules) ?(deviations = []) ctx =
                      same whether the span is live (jobs=1) or suppressed
                      on a worker (jobs>1) *)
                   Telemetry.timed ("misra.rule_us." ^ r.Rule.id)
-                    (fun () -> r.Rule.check ctx))
+                    (fun () ->
+                      (* Per-rule artifact, keyed by rule id + the
+                         whole-tree content key: rules see the whole
+                         project through [ctx], so any edit re-runs
+                         them.  The stored value is only the violation
+                         list — journaling below re-derives findings on
+                         the calling domain, so the evidence journal is
+                         byte-identical on hits. *)
+                      match (Cache.global (), cache_key) with
+                      | Some c, Some ck ->
+                        Cache.memo c ~kind:"misra"
+                          ~key:(Cache.key ~kind:"misra" [ r.Rule.id; ck ])
+                          (fun () -> r.Rule.check ctx)
+                      | _ -> r.Rule.check ctx))
             in
             Telemetry.add ("misra.violations." ^ r.Rule.id) (List.length vs);
             Telemetry.observe "misra.rule_violations"
@@ -132,7 +145,13 @@ let run ?(rules = all_rules) ?(deviations = []) ctx =
         deviations = outcomes;
       })
 
-let run_project ?(rules = all_rules) parsed = run ~rules (Rule.build_context parsed)
+let run_project ?(rules = all_rules) parsed =
+  let cache_key =
+    match Cache.global () with
+    | None -> None
+    | Some _ -> Some (Cfront.Project.content_key parsed.Cfront.Project.project)
+  in
+  run ~rules ?cache_key (Rule.build_context parsed)
 
 (** Violations grouped by category. *)
 let by_category report =

@@ -39,7 +39,17 @@ type report = {
   deviations : deviation_outcome list;
 }
 
-val run : ?rules:Rule.t list -> ?deviations:deviation list -> Rule.context -> report
+(** Run the rules over a context.  [cache_key], when the global artifact
+    cache is enabled, keys each rule's stored violation list (rule id +
+    the caller's content key); [run_project] derives it from the whole
+    source tree. *)
+val run :
+  ?rules:Rule.t list ->
+  ?deviations:deviation list ->
+  ?cache_key:string ->
+  Rule.context ->
+  report
+
 val run_project : ?rules:Rule.t list -> Cfront.Project.parsed -> report
 
 (** Violation counts per category. *)

@@ -1,0 +1,993 @@
+(* Differential oracle harness for the content-addressed artifact cache.
+
+   The cold jobs=1 no-cache run is the oracle: a warm run, an
+   incremental run after an edit, and a run over a corrupted cache must
+   all reproduce its report bytes, its adcheck-evidence/1 journal, and
+   its provenance finding ids exactly — the cache may only change how
+   fast an answer arrives, never the answer.
+
+   Four layers of evidence:
+
+   - unit tests on the dependency manifest (diff, transitive
+     reverse-dependents, persistence) and on the store itself
+     (roundtrip, truncation/garbage/salt-mismatch detection,
+     owner-scoped removal, version-salt wipe);
+   - QCheck: random edit sequences (touch / revert / rename) over a
+     small project, each step running warm against one store, must end
+     behaviorally equal to a cold run from the final tree — same
+     output, every cold artifact already present, zero misses on a
+     re-run — and reverting an edit must restore cache hits;
+   - the full audit pipeline on a trimmed corpus under the tick clock:
+     cold-with-cache, warm at jobs 1/2/8, and incremental-after-edit
+     runs compared byte-for-byte against the no-cache oracle, with the
+     invalidation set checked against an independent transitive
+     closure computed here;
+   - the real binary: `misra --cache` cold/warm/corrupted stdout versus
+     the cacheless run, and an `adcheck serve` session smoke test. *)
+
+module P = Provenance
+
+let restore_jobs = Util.Pool.default_jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let artifact_files dir =
+  List.sort compare
+    (List.filter
+       (fun f -> Filename.check_suffix f ".art")
+       (Array.to_list (Sys.readdir dir)))
+
+(* ------------------------------------------------------------------ *)
+(* Manifest: diff, dependents, invalidation closure                    *)
+(* ------------------------------------------------------------------ *)
+
+let mk_manifest = Cache.Manifest.make
+
+let base_view =
+  [ ("a.h", "h1"); ("a.cc", "h2"); ("b.cc", "h3"); ("c.cc", "h4");
+    ("d.cc", "h5") ]
+
+let manifest =
+  mk_manifest
+    [ ("a.h", "h1", []);
+      ("a.cc", "h2", [ "a.h" ]);
+      ("b.cc", "h3", [ "a.h"; "a.cc" ]);
+      ("c.cc", "h4", [ "b.cc" ]);
+      ("d.cc", "h5", []) ]
+
+let test_manifest_changed () =
+  Alcotest.(check (list string))
+    "identical view: nothing changed" []
+    (Cache.Manifest.changed ~old:manifest base_view);
+  let touch p h = List.map (fun (q, g) -> if q = p then (q, h) else (q, g)) in
+  Alcotest.(check (list string))
+    "content edit detected" [ "b.cc" ]
+    (Cache.Manifest.changed ~old:manifest (touch "b.cc" "hX" base_view));
+  Alcotest.(check (list string))
+    "added file detected" [ "e.cc" ]
+    (Cache.Manifest.changed ~old:manifest (base_view @ [ ("e.cc", "h6") ]));
+  Alcotest.(check (list string))
+    "removed file detected" [ "d.cc" ]
+    (Cache.Manifest.changed ~old:manifest
+       (List.remove_assoc "d.cc" base_view
+        |> List.map (fun (p, h) -> (p, h))));
+  Alcotest.(check (list string))
+    "rename is remove + add" [ "d.cc"; "d2.cc" ]
+    (Cache.Manifest.changed ~old:manifest
+       (touch "d.cc" "h5" base_view
+        |> List.map (fun (p, h) -> if p = "d.cc" then ("d2.cc", h) else (p, h))))
+
+let test_manifest_dependents () =
+  Alcotest.(check (list string))
+    "transitive reverse-dependents of the header"
+    [ "a.cc"; "b.cc"; "c.cc" ]
+    (Cache.Manifest.dependents manifest [ "a.h" ]);
+  Alcotest.(check (list string))
+    "mid-chain edit pulls only downstream" [ "c.cc" ]
+    (Cache.Manifest.dependents manifest [ "b.cc" ]);
+  Alcotest.(check (list string))
+    "leaf has no dependents" []
+    (Cache.Manifest.dependents manifest [ "c.cc" ]);
+  Alcotest.(check (list string))
+    "isolated file has no dependents" []
+    (Cache.Manifest.dependents manifest [ "d.cc" ])
+
+let test_manifest_invalidated () =
+  let touch p h = List.map (fun (q, g) -> if q = p then (q, h) else (q, g)) in
+  Alcotest.(check (list string))
+    "invalidation = changed + transitive dependents"
+    [ "a.cc"; "a.h"; "b.cc"; "c.cc" ]
+    (Cache.Manifest.invalidated ~old:manifest (touch "a.h" "hX" base_view));
+  Alcotest.(check (list string))
+    "isolated edit invalidates only itself" [ "d.cc" ]
+    (Cache.Manifest.invalidated ~old:manifest (touch "d.cc" "hX" base_view));
+  Alcotest.(check (list string))
+    "clean tree invalidates nothing" []
+    (Cache.Manifest.invalidated ~old:manifest base_view)
+
+let test_manifest_persistence () =
+  let dir = fresh_dir "adcheck-manifest" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.open_dir dir in
+  Alcotest.(check bool) "missing manifest loads as None" true
+    (Cache.Manifest.load c ~name:"proj" = None);
+  Cache.Manifest.save c ~name:"proj" manifest;
+  (match Cache.Manifest.load c ~name:"proj" with
+   | None -> Alcotest.fail "saved manifest did not load"
+   | Some m -> Alcotest.(check bool) "manifest round-trips" true (m = manifest));
+  (* a second project name is an independent slot *)
+  Alcotest.(check bool) "names are independent" true
+    (Cache.Manifest.load c ~name:"other" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Store: roundtrip and corruption robustness                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_roundtrip () =
+  let dir = fresh_dir "adcheck-store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.open_dir dir in
+  let key = Cache.key ~kind:"parse" [ "a.cc"; "deadbeef" ] in
+  Alcotest.(check bool) "empty store misses" true
+    (Cache.find c ~kind:"parse" ~key = (None : (int * string) option));
+  Cache.store c ~owner:"a.cc" ~kind:"parse" ~key (42, "payload");
+  Alcotest.(check bool) "stored artifact hits" true
+    (Cache.find c ~kind:"parse" ~key = Some (42, "payload"));
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one store" 1 s.Cache.stores;
+  (* same inputs, same key — across processes this is what makes warm
+     runs find cold runs' artifacts *)
+  Alcotest.(check string) "key derivation is stable" key
+    (Cache.key ~kind:"parse" [ "a.cc"; "deadbeef" ]);
+  Alcotest.(check bool) "kind is part of the key" true
+    (Cache.key ~kind:"dataflow" [ "a.cc"; "deadbeef" ] <> key);
+  (* memo: hit path returns the stored value without calling f *)
+  let called = ref false in
+  let v =
+    Cache.memo c ~kind:"parse" ~key (fun () ->
+        called := true;
+        (0, "recomputed"))
+  in
+  Alcotest.(check bool) "memo served warm" true (v = (42, "payload"));
+  Alcotest.(check bool) "memo did not recompute" false !called
+
+let corrupt_one dir ~mutate =
+  match artifact_files dir with
+  | [] -> Alcotest.fail "no artifact to corrupt"
+  | f :: _ ->
+    let path = Filename.concat dir f in
+    write_file path (mutate (read_file path))
+
+let check_corrupt_recovers name ~mutate =
+  let dir = fresh_dir "adcheck-corrupt" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.open_dir dir in
+  let key = Cache.key ~kind:"misra" [ "15.1"; "abc" ] in
+  Cache.store c ~kind:"misra" ~key [ (1, "x"); (2, "y") ];
+  corrupt_one dir ~mutate;
+  Alcotest.(check bool)
+    (name ^ ": detected and reported as a miss") true
+    (Cache.find c ~kind:"misra" ~key = (None : (int * string) list option));
+  let s = Cache.stats c in
+  Alcotest.(check int) (name ^ ": counted corrupt") 1 s.Cache.corrupt;
+  (* the damaged file is gone; recompute-and-store round-trips again *)
+  let v =
+    Cache.memo c ~kind:"misra" ~key (fun () -> [ (3, "recomputed") ])
+  in
+  Alcotest.(check bool) (name ^ ": recompute stored") true (v = [ (3, "recomputed") ]);
+  Alcotest.(check bool) (name ^ ": store serves the recompute") true
+    (Cache.find c ~kind:"misra" ~key = Some [ (3, "recomputed") ])
+
+let test_corrupt_truncated () =
+  check_corrupt_recovers "truncated" ~mutate:(fun s ->
+      String.sub s 0 (String.length s / 2))
+
+let test_corrupt_garbage () =
+  check_corrupt_recovers "garbage" ~mutate:(fun s ->
+      String.make (String.length s) 'Z')
+
+let test_corrupt_salt_mismatch () =
+  check_corrupt_recovers "salt-mismatch" ~mutate:(fun s ->
+      match String.index_opt s '\n' with
+      | None -> "bogus"
+      | Some i ->
+        (* splice a foreign schema salt into the second header line *)
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        let j = String.index rest '\n' in
+        String.sub s 0 (i + 1) ^ "adcheck-cache/0 schema=0"
+        ^ String.sub rest j (String.length rest - j))
+
+let test_remove_owned () =
+  let dir = fresh_dir "adcheck-owned" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.open_dir dir in
+  Cache.store c ~owner:"a.cc" ~kind:"parse"
+    ~key:(Cache.key ~kind:"parse" [ "a" ]) "A";
+  Cache.store c ~owner:"a.cc" ~kind:"dataflow"
+    ~key:(Cache.key ~kind:"dataflow" [ "a" ]) "Adf";
+  Cache.store c ~owner:"b.cc" ~kind:"parse"
+    ~key:(Cache.key ~kind:"parse" [ "b" ]) "B";
+  Cache.store c ~kind:"bytecode" ~key:(Cache.key ~kind:"bytecode" [ "p" ]) "BC";
+  Alcotest.(check int) "only a.cc's two artifacts removed" 2
+    (Cache.remove_owned c [ "a.cc" ]);
+  Alcotest.(check bool) "other owner survives" true
+    (Cache.find c ~kind:"parse" ~key:(Cache.key ~kind:"parse" [ "b" ])
+     = Some "B");
+  Alcotest.(check bool) "unowned artifact survives" true
+    (Cache.find c ~kind:"bytecode" ~key:(Cache.key ~kind:"bytecode" [ "p" ])
+     = Some "BC");
+  Alcotest.(check int) "removals counted as invalidated" 2
+    (Cache.stats c).Cache.invalidated
+
+let test_version_salt_wipe () =
+  let dir = fresh_dir "adcheck-version" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.open_dir dir in
+  let key = Cache.key ~kind:"parse" [ "v" ] in
+  Cache.store c ~kind:"parse" ~key "V";
+  Alcotest.(check bool) "artifact present before reopen" true
+    (artifact_files dir <> []);
+  (* a store written by another tool version is wiped, not trusted *)
+  write_file (Filename.concat dir "VERSION") "adcheck-cache/0 schema=0\n";
+  let c2 = Cache.open_dir dir in
+  Alcotest.(check (list string)) "salt mismatch wipes the store" []
+    (artifact_files dir);
+  Alcotest.(check bool) "old artifact is a clean miss" true
+    (Cache.find c2 ~kind:"parse" ~key = (None : string option));
+  Alcotest.(check int) "wipe is not a corruption event" 0
+    (Cache.stats c2).Cache.corrupt
+
+(* ------------------------------------------------------------------ *)
+(* A small real project: parse + MISRA + dataflow through one store    *)
+(* ------------------------------------------------------------------ *)
+
+(* defs.h <- alpha.cc (include + call) <- beta.cc (include + call)
+   <- gamma.cc (call only): edits to defs.h must invalidate everything,
+   edits to gamma.cc only itself. *)
+let base_sources =
+  [ ("m/defs.h", "int shared_limit() { return 10; }\n");
+    ( "m/alpha.cc",
+      "#include \"m/defs.h\"\n\
+       int alpha(int x) { int y = 0; if (x > shared_limit()) { y = x; } \
+       return y; }\n" );
+    ( "m/beta.cc",
+      "#include \"m/defs.h\"\n\
+       int beta(int x) { int a; if (x > 0) { a = 1; } return a + alpha(x); }\n"
+    );
+    ( "m/gamma.cc",
+      "int gamma_fn(int n) { int s = 0; \
+       for (int i = 0; i < n; ++i) { s += beta(i); } return s; }\n" ) ]
+
+let project_of files =
+  Cfront.Project.make ~name:"cachetest"
+    [ { Cfront.Project.m_name = "m";
+        m_files =
+          List.map
+            (fun (path, content) ->
+              { Cfront.Project.path; modname = "m";
+                header = Filename.check_suffix path ".h"; content })
+            files } ]
+
+(* One warm run over [tree] against store [c], replaying the audit's
+   cache discipline: restart the id counters, diff against the stored
+   manifest (sweeping only paths that left the tree), parse, save the
+   new manifest, then MISRA + per-file dataflow.  Returns a rendering
+   that covers every cached artifact kind plus the finding ids. *)
+let lib_run c tree =
+  Cfront.Parser.reset_ids ();
+  let hashes =
+    List.map
+      (fun (f : Cfront.Project.source_file) ->
+        (f.Cfront.Project.path, Cache.fnv1a64 f.Cfront.Project.content))
+      (Cfront.Project.all_files tree)
+  in
+  (match Cache.Manifest.load c ~name:tree.Cfront.Project.p_name with
+   | None -> ()
+   | Some old ->
+     let gone =
+       List.filter
+         (fun p -> not (List.mem_assoc p hashes))
+         (List.map
+            (fun (e : Cache.Manifest.entry) -> e.Cache.Manifest.e_path)
+            old.Cache.Manifest.entries)
+     in
+     if gone <> [] then ignore (Cache.remove_owned c gone));
+  Cache.with_global c @@ fun () ->
+  let (parsed, misra, summaries), findings =
+    P.collect (fun () ->
+        let parsed = Cfront.Project.parse tree in
+        let misra = Misra.Registry.run_project parsed in
+        let summaries =
+          List.concat_map
+            (fun (pf : Cfront.Project.parsed_file) ->
+              Dataflow.Analyses.summarize_file
+                ~path:pf.Cfront.Project.file.Cfront.Project.path
+                ~key:(Cfront.Project.file_key parsed pf)
+                (Cfront.Project.defined_functions [ pf ]))
+            parsed.Cfront.Project.files
+        in
+        (parsed, misra, summaries))
+  in
+  Cache.Manifest.save c ~name:tree.Cfront.Project.p_name
+    (Iso26262.Audit.manifest_of_parsed parsed);
+  String.concat "\n"
+    (Misra.Registry.render_summary misra
+     :: List.map
+          (fun (s : Dataflow.Analyses.func_summary) ->
+            Printf.sprintf "%s blocks=%d edges=%d unreachable=%d dead=%d \
+                            uninit=%d const=%d"
+              s.Dataflow.Analyses.s_function s.Dataflow.Analyses.s_blocks
+              s.Dataflow.Analyses.s_edges s.Dataflow.Analyses.s_unreachable
+              s.Dataflow.Analyses.s_dead_stores
+              s.Dataflow.Analyses.s_uninit_reads
+              s.Dataflow.Analyses.s_const_conditions)
+          summaries
+     @ List.map (fun f -> f.P.f_id) findings)
+
+let stats_delta c f =
+  let b = Cache.stats c in
+  let r = f () in
+  let a = Cache.stats c in
+  ( r,
+    { Cache.hits = a.Cache.hits - b.Cache.hits;
+      misses = a.Cache.misses - b.Cache.misses;
+      stores = a.Cache.stores - b.Cache.stores;
+      corrupt = a.Cache.corrupt - b.Cache.corrupt;
+      invalidated = a.Cache.invalidated - b.Cache.invalidated } )
+
+let test_manifest_of_parsed_edges () =
+  let parsed = Cfront.Project.parse (project_of base_sources) in
+  let m = Iso26262.Audit.manifest_of_parsed parsed in
+  let deps p =
+    match
+      List.find_opt
+        (fun (e : Cache.Manifest.entry) -> e.Cache.Manifest.e_path = p)
+        m.Cache.Manifest.entries
+    with
+    | Some e -> e.Cache.Manifest.e_deps
+    | None -> Alcotest.failf "manifest lacks %s" p
+  in
+  Alcotest.(check (list string)) "alpha: include + callee both resolve to defs.h"
+    [ "m/defs.h" ] (deps "m/alpha.cc");
+  Alcotest.(check (list string)) "beta: include edge + cross-file call edge"
+    [ "m/alpha.cc"; "m/defs.h" ] (deps "m/beta.cc");
+  Alcotest.(check (list string)) "gamma: call-graph edge only"
+    [ "m/beta.cc" ] (deps "m/gamma.cc");
+  Alcotest.(check (list string)) "header depends on nothing" []
+    (deps "m/defs.h");
+  (* the closure the audit will invalidate with *)
+  Alcotest.(check (list string)) "header edit fans out to every file"
+    [ "m/alpha.cc"; "m/beta.cc"; "m/gamma.cc" ]
+    (Cache.Manifest.dependents m [ "m/defs.h" ]);
+  Alcotest.(check (list string)) "leaf edit fans out to nothing" []
+    (Cache.Manifest.dependents m [ "m/gamma.cc" ])
+
+let test_revert_restores_hits () =
+  let dir = fresh_dir "adcheck-revert" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.open_dir dir in
+  let out0 = lib_run c (project_of base_sources) in
+  List.iteri
+    (fun i (path, content) ->
+      let edited =
+        List.map
+          (fun (p, s) ->
+            if p = path then
+              (p, s ^ Printf.sprintf "int probe_%d() { return %d; }\n" i i)
+            else (p, s))
+          base_sources
+      in
+      let _ = lib_run c (project_of edited) in
+      (* revert: every artifact of the original tree is still in the
+         store, so the run must answer entirely warm *)
+      let out2, d = stats_delta c (fun () -> lib_run c (project_of base_sources)) in
+      Alcotest.(check string)
+        (Printf.sprintf "revert of %s reproduces the original output" path)
+        out0 out2;
+      Alcotest.(check int)
+        (Printf.sprintf "revert of %s recomputes nothing" path)
+        0 d.Cache.misses;
+      Alcotest.(check bool)
+        (Printf.sprintf "revert of %s answers warm" path)
+        true (d.Cache.hits > 0);
+      ignore content)
+    base_sources
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random edit sequences over one store                        *)
+(* ------------------------------------------------------------------ *)
+
+type edit =
+  | Touch of int * int  (** file index, content variant *)
+  | Revert of int
+  | Rename of bool  (** rename gamma.cc (nothing depends on it) *)
+
+let show_edit = function
+  | Touch (i, v) -> Printf.sprintf "touch(%d,v%d)" i v
+  | Revert i -> Printf.sprintf "revert(%d)" i
+  | Rename b -> Printf.sprintf "rename(%b)" b
+
+let edit_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, map2 (fun i v -> Touch (i, v)) (int_range 0 3) (int_range 1 3));
+        (2, map (fun i -> Revert i) (int_range 0 3));
+        (1, map (fun b -> Rename b) bool) ])
+
+let edits_arb =
+  QCheck.make
+    ~print:(fun es -> String.concat "; " (List.map show_edit es))
+    QCheck.Gen.(list_size (int_range 1 4) edit_gen)
+
+(* Tree state: a content variant per base file, plus gamma's name. *)
+let tree_of_state (variants, renamed) =
+  project_of
+    (List.mapi
+       (fun i (path, content) ->
+         let path =
+           if i = 3 && renamed then "m/gamma_renamed.cc" else path
+         in
+         let content =
+           if variants.(i) = 0 then content
+           else
+             content
+             ^ Printf.sprintf "int extra_%d_%d() { return %d; }\n" i
+                 variants.(i) variants.(i)
+         in
+         (path, content))
+       base_sources)
+
+let apply_edit (variants, renamed) = function
+  | Touch (i, v) ->
+    variants.(i) <- v;
+    (variants, renamed)
+  | Revert i ->
+    variants.(i) <- 0;
+    (variants, renamed)
+  | Rename b -> (variants, b)
+
+(* After any edit sequence, the store must be behaviorally identical to
+   one populated by a single cold run from the final tree: the final
+   warm output matches the cold output, every artifact the cold run
+   writes is already present, and a re-run over the final tree answers
+   without a single miss. *)
+let prop_edit_sequence_converges =
+  QCheck.Test.make ~name:"random edit sequences: warm == cold from final tree"
+    ~count:15 edits_arb (fun edits ->
+      let warm_dir = fresh_dir "qc-warm" and cold_dir = fresh_dir "qc-cold" in
+      Fun.protect ~finally:(fun () -> rm_rf warm_dir; rm_rf cold_dir)
+      @@ fun () ->
+      let warm = Cache.open_dir warm_dir in
+      let state = ref ([| 0; 0; 0; 0 |], false) in
+      let last = ref (lib_run warm (tree_of_state !state)) in
+      List.iter
+        (fun e ->
+          state := apply_edit !state e;
+          last := lib_run warm (tree_of_state !state))
+        edits;
+      let cold = Cache.open_dir cold_dir in
+      let cold_out = lib_run cold (tree_of_state !state) in
+      let warm_arts = artifact_files warm_dir in
+      let cold_covered =
+        List.for_all (fun f -> List.mem f warm_arts) (artifact_files cold_dir)
+      in
+      let rerun, d =
+        stats_delta warm (fun () -> lib_run warm (tree_of_state !state))
+      in
+      if !last <> cold_out then
+        QCheck.Test.fail_report "final warm output <> cold output";
+      if not cold_covered then
+        QCheck.Test.fail_report "cold run wrote an artifact the warm store lacks";
+      if rerun <> cold_out then
+        QCheck.Test.fail_report "warm re-run diverged from cold output";
+      if d.Cache.misses <> 0 then
+        QCheck.Test.fail_reportf "warm re-run missed %d time(s)" d.Cache.misses;
+      true)
+
+(* Edit, run, revert, run: the revert run answers with zero misses and
+   reproduces the pre-edit output — content addressing never pays for
+   an abandoned edit twice. *)
+let prop_revert_is_warm =
+  QCheck.Test.make ~name:"random edit then revert: second run fully warm"
+    ~count:15
+    (QCheck.make
+       ~print:(fun (i, v) -> show_edit (Touch (i, v)))
+       QCheck.Gen.(pair (int_range 0 3) (int_range 1 3)))
+    (fun (i, v) ->
+      let dir = fresh_dir "qc-revert" in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let c = Cache.open_dir dir in
+      let state = ([| 0; 0; 0; 0 |], false) in
+      let out0 = lib_run c (tree_of_state state) in
+      let _ = lib_run c (tree_of_state (apply_edit state (Touch (i, v)))) in
+      let out2, d =
+        stats_delta c (fun () ->
+            lib_run c (tree_of_state ([| 0; 0; 0; 0 |], false)))
+      in
+      if out2 <> out0 then QCheck.Test.fail_report "revert changed the output";
+      if d.Cache.misses <> 0 then
+        QCheck.Test.fail_reportf "revert missed %d time(s)" d.Cache.misses;
+      d.Cache.hits > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Full audit differential on a trimmed corpus, jobs 1/2/8             *)
+(* ------------------------------------------------------------------ *)
+
+let diff_seed = 77
+let trimmed_specs = List.filteri (fun i _ -> i < 2) Corpus.Apollo_profile.small
+
+type audit_obs = {
+  a_report : string;
+  a_journal : string;
+  a_ids : string list;
+  a_stats : Cache.stats option;  (** this run's counter deltas *)
+  a_invalidate : int;  (** [cache.invalidate] work-tier counter *)
+}
+
+(* One audit under the tick clock at [jobs], optionally against [cache]
+   and over an explicit [project] tree.  The id counters restart before
+   every run — including the no-cache oracle — so in-process runs are
+   base-comparable with each other and with a fresh process. *)
+let audit_obs ?project ~jobs ~cache () =
+  Util.Pool.set_default_jobs jobs;
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  Telemetry.install_tick_clock ();
+  Cache.set_global cache;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_global None;
+      Telemetry.use_wall_clock ();
+      Telemetry.reset ();
+      Telemetry.set_enabled false;
+      Util.Pool.set_default_jobs restore_jobs)
+  @@ fun () ->
+  let before = Option.map Cache.stats cache in
+  Cfront.Parser.reset_ids ();
+  let audit =
+    Iso26262.Audit.run ~seed:diff_seed ~specs:trimmed_specs ?project ()
+  in
+  let delta =
+    match (before, Option.map Cache.stats cache) with
+    | Some b, Some a ->
+      Some
+        { Cache.hits = a.Cache.hits - b.Cache.hits;
+          misses = a.Cache.misses - b.Cache.misses;
+          stores = a.Cache.stores - b.Cache.stores;
+          corrupt = a.Cache.corrupt - b.Cache.corrupt;
+          invalidated = a.Cache.invalidated - b.Cache.invalidated }
+    | _ -> None
+  in
+  {
+    a_report = Iso26262.Audit.render audit;
+    a_journal = P.journal ();
+    a_ids = List.map (fun f -> f.P.f_id) audit.Iso26262.Audit.journal;
+    a_stats = delta;
+    a_invalidate = Telemetry.counter "cache.invalidate";
+  }
+
+let oracle = lazy (audit_obs ~jobs:1 ~cache:None ())
+
+let check_matches_oracle_against ~name o obs =
+  Alcotest.(check string) (name ^ ": report bytes") o.a_report obs.a_report;
+  Alcotest.(check string) (name ^ ": evidence journal bytes") o.a_journal
+    obs.a_journal;
+  Alcotest.(check (list string)) (name ^ ": finding ids") o.a_ids obs.a_ids
+
+let check_matches_oracle ~name obs =
+  check_matches_oracle_against ~name (Lazy.force oracle) obs
+
+(* The shared store of the cold → warm → corrupted progression below;
+   populated once, in order, by Alcotest's sequential runner. *)
+let audit_dir = lazy (fresh_dir "adcheck-audit-cache")
+let () = at_exit (fun () -> if Lazy.is_val audit_dir then rm_rf (Lazy.force audit_dir))
+let audit_store = lazy (Cache.open_dir (Lazy.force audit_dir))
+let cold_misses = ref 0
+
+let test_audit_cold_with_cache () =
+  let obs = audit_obs ~jobs:1 ~cache:(Some (Lazy.force audit_store)) () in
+  check_matches_oracle ~name:"cold cache jobs=1" obs;
+  match obs.a_stats with
+  | None -> Alcotest.fail "no cache stats"
+  | Some d ->
+    cold_misses := d.Cache.misses;
+    Alcotest.(check bool) "cold run computes everything" true
+      (d.Cache.misses > 0 && d.Cache.stores > 0);
+    Alcotest.(check int) "no invalidation on first contact" 0 obs.a_invalidate
+
+let test_audit_warm_jobs1 () =
+  let obs = audit_obs ~jobs:1 ~cache:(Some (Lazy.force audit_store)) () in
+  check_matches_oracle ~name:"warm jobs=1" obs;
+  match obs.a_stats with
+  | None -> Alcotest.fail "no cache stats"
+  | Some d ->
+    Alcotest.(check int) "warm jobs=1 recomputes nothing" 0 d.Cache.misses;
+    Alcotest.(check bool) "warm jobs=1 answers from the store" true
+      (d.Cache.hits > 0);
+    Alcotest.(check int) "identical tree invalidates nothing" 0
+      obs.a_invalidate
+
+(* At jobs>1 the pipelined coverage phases may enter at racing id bases,
+   so a phase artifact can conservatively miss — the contract is byte
+   identity, not hit count. *)
+let test_audit_warm_jobs2 () =
+  check_matches_oracle ~name:"warm jobs=2"
+    (audit_obs ~jobs:2 ~cache:(Some (Lazy.force audit_store)) ())
+
+let test_audit_warm_jobs8 () =
+  check_matches_oracle ~name:"warm jobs=8"
+    (audit_obs ~jobs:8 ~cache:(Some (Lazy.force audit_store)) ())
+
+(* ------------------------------------------------------------------ *)
+(* Incremental: one edit, exact invalidation set, oracle equality      *)
+(* ------------------------------------------------------------------ *)
+
+let base_project = lazy (Corpus.Generator.generate ~seed:diff_seed trimmed_specs)
+
+let edit_file (p : Cfront.Project.t) path =
+  { p with
+    Cfront.Project.p_modules =
+      List.map
+        (fun (m : Cfront.Project.modul) ->
+          { m with
+            Cfront.Project.m_files =
+              List.map
+                (fun (f : Cfront.Project.source_file) ->
+                  if f.Cfront.Project.path = path then
+                    { f with
+                      Cfront.Project.content =
+                        f.Cfront.Project.content
+                        ^ "\nint cache_diff_probe() { return 42; }\n" }
+                  else f)
+                m.Cfront.Project.m_files })
+        p.Cfront.Project.p_modules }
+
+(* Independent transitive closure, written against the naive definition
+   rather than the Manifest implementation: changed files, then keep
+   adding any file with a dependency edge into the set until fixpoint. *)
+let naive_invalidated (old : Cache.Manifest.t) view =
+  let changed =
+    List.filter
+      (fun (p, h) ->
+        match
+          List.find_opt
+            (fun (e : Cache.Manifest.entry) -> e.Cache.Manifest.e_path = p)
+            old.Cache.Manifest.entries
+        with
+        | None -> true
+        | Some e -> e.Cache.Manifest.e_hash <> h)
+      view
+    |> List.map fst
+  in
+  let removed =
+    List.filter_map
+      (fun (e : Cache.Manifest.entry) ->
+        if List.mem_assoc e.Cache.Manifest.e_path view then None
+        else Some e.Cache.Manifest.e_path)
+      old.Cache.Manifest.entries
+  in
+  let set = ref (List.sort_uniq compare (changed @ removed)) in
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    List.iter
+      (fun (e : Cache.Manifest.entry) ->
+        if
+          (not (List.mem e.Cache.Manifest.e_path !set))
+          && List.exists (fun d -> List.mem d !set) e.Cache.Manifest.e_deps
+        then begin
+          set := List.sort compare (e.Cache.Manifest.e_path :: !set);
+          grew := true
+        end)
+      old.Cache.Manifest.entries
+  done;
+  !set
+
+let test_audit_incremental_edit () =
+  let project = Lazy.force base_project in
+  (* the first non-header file of the corpus is the edit target *)
+  let target =
+    match
+      List.find_opt
+        (fun (f : Cfront.Project.source_file) -> not f.Cfront.Project.header)
+        (Cfront.Project.all_files project)
+    with
+    | Some f -> f.Cfront.Project.path
+    | None -> Alcotest.fail "corpus has no implementation files"
+  in
+  let edited = edit_file project target in
+  let old_manifest =
+    Iso26262.Audit.manifest_of_parsed (Cfront.Project.parse project)
+  in
+  let view =
+    List.map
+      (fun (f : Cfront.Project.source_file) ->
+        (f.Cfront.Project.path, Cache.fnv1a64 f.Cfront.Project.content))
+      (Cfront.Project.all_files edited)
+  in
+  let inv = Cache.Manifest.invalidated ~old:old_manifest view in
+  (* the exact invalidation set: the edited file plus its transitive
+     reverse-dependents, independently recomputed here *)
+  Alcotest.(check (list string)) "invalidation set = naive closure"
+    (naive_invalidated old_manifest view)
+    inv;
+  Alcotest.(check bool) "edited file is in its own invalidation set" true
+    (List.mem target inv);
+  Alcotest.(check bool) "invalidation is not the whole tree" true
+    (List.length inv < List.length view);
+  List.iter
+    (fun p ->
+      if p <> target then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s is a transitive dependent of %s" p target)
+          true
+          (List.mem p (Cache.Manifest.dependents old_manifest [ target ])))
+    inv;
+  (* populate the store from the ORIGINAL tree, then audit the edit *)
+  let dir = fresh_dir "adcheck-incr" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.open_dir dir in
+  let cold = audit_obs ~jobs:1 ~project ~cache:(Some c) () in
+  let arts_cold = artifact_files dir in
+  let incr = audit_obs ~jobs:1 ~project:edited ~cache:(Some c) () in
+  let arts_new =
+    List.filter (fun f -> not (List.mem f arts_cold)) (artifact_files dir)
+  in
+  let edit_oracle = audit_obs ~jobs:1 ~project:edited ~cache:None () in
+  Alcotest.(check string) "incremental report == edited-tree oracle"
+    edit_oracle.a_report incr.a_report;
+  Alcotest.(check string) "incremental journal == edited-tree oracle"
+    edit_oracle.a_journal incr.a_journal;
+  Alcotest.(check (list string)) "incremental finding ids == oracle"
+    edit_oracle.a_ids incr.a_ids;
+  Alcotest.(check int) "cache.invalidate counts the invalidation set"
+    (List.length inv) incr.a_invalidate;
+  (match (cold.a_stats, incr.a_stats) with
+   | Some dc, Some di ->
+     Alcotest.(check bool)
+       (Printf.sprintf
+          "incremental recomputes measurably less (%d misses vs %d cold)"
+          di.Cache.misses dc.Cache.misses)
+       true
+       (di.Cache.misses > 0 && di.Cache.misses < dc.Cache.misses);
+     Alcotest.(check bool) "incremental run stays mostly warm" true
+       (di.Cache.hits > 0)
+   | _ -> Alcotest.fail "missing cache stats");
+  (* artifact-level accounting: the edit recomputes exactly one parse
+     and one dataflow artifact (the edited file; its dependents' keys
+     are content-addressed and unchanged), the whole coverage layer
+     stays warm, and only the whole-tree-keyed MISRA layer re-runs *)
+  let count_kind prefix =
+    List.length
+      (List.filter
+         (fun f ->
+           String.length f >= String.length prefix
+           && String.sub f 0 (String.length prefix) = prefix)
+         arts_new)
+  in
+  Alcotest.(check int) "one new parse artifact (the edited file)" 1
+    (count_kind "parse-");
+  Alcotest.(check int) "one new dataflow artifact (the edited file)" 1
+    (count_kind "dataflow-");
+  Alcotest.(check int) "coverage phases stay warm across a corpus edit" 0
+    (count_kind "covphase-" + count_kind "scenario-" + count_kind "bytecode-");
+  Alcotest.(check bool) "whole-tree MISRA layer recomputes" true
+    (count_kind "misra-" > 0);
+  (* the same edited tree at jobs=8 against the now-twice-written store *)
+  check_matches_oracle_against ~name:"incremental jobs=8" edit_oracle
+    (audit_obs ~jobs:8 ~project:edited ~cache:(Some c) ())
+
+(* A damaged store slows the audit down but cannot change it: truncate
+   or scribble over half the artifacts, then re-run warm. *)
+let test_audit_corrupted_store () =
+  let dir = Lazy.force audit_dir in
+  let arts = artifact_files dir in
+  Alcotest.(check bool) "store is populated" true (arts <> []);
+  List.iteri
+    (fun i f ->
+      let path = Filename.concat dir f in
+      if i mod 2 = 0 then
+        write_file path
+          (let s = read_file path in
+           String.sub s 0 (String.length s / 3))
+      else if i mod 4 = 1 then
+        write_file path (String.make 64 '\xff'))
+    arts;
+  let obs = audit_obs ~jobs:1 ~cache:(Some (Lazy.force audit_store)) () in
+  check_matches_oracle ~name:"corrupted store jobs=1" obs;
+  match obs.a_stats with
+  | None -> Alcotest.fail "no cache stats"
+  | Some d ->
+    Alcotest.(check bool) "corruption detected and counted" true
+      (d.Cache.corrupt > 0);
+    Alcotest.(check bool) "corrupt artifacts recomputed" true
+      (d.Cache.misses >= d.Cache.corrupt)
+
+(* ------------------------------------------------------------------ *)
+(* The real binary: misra --cache differential and adcheck serve       *)
+(* ------------------------------------------------------------------ *)
+
+let adcheck_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/adcheck.exe"
+
+let run_capture cmd =
+  let out = Filename.temp_file "adcheck-out" ".txt" in
+  let err = Filename.temp_file "adcheck-err" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove out with Sys_error _ -> ());
+      try Sys.remove err with Sys_error _ -> ())
+  @@ fun () ->
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s > %s 2> %s" cmd (Filename.quote out)
+         (Filename.quote err))
+  in
+  (rc, read_file out, read_file err)
+
+let test_cli_misra_cache_diff () =
+  let dir = fresh_dir "cli-cache" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let base =
+    Printf.sprintf "%s misra --scale small --seed 7" (Filename.quote adcheck_exe)
+  in
+  let cached = Printf.sprintf "%s --cache %s" base (Filename.quote dir) in
+  let rc0, oracle_out, _ = run_capture base in
+  Alcotest.(check int) "oracle run exits 0" 0 rc0;
+  let rc1, cold_out, _ = run_capture cached in
+  Alcotest.(check int) "cold cached run exits 0" 0 rc1;
+  Alcotest.(check string) "cold cached stdout == cacheless stdout" oracle_out
+    cold_out;
+  (* --verbose so the Log.info cache summary reaches stderr *)
+  let rc2, warm_out, warm_err = run_capture (cached ^ " --verbose") in
+  Alcotest.(check int) "warm run exits 0" 0 rc2;
+  Alcotest.(check string) "warm stdout == cacheless stdout" oracle_out warm_out;
+  Alcotest.(check bool) "warm run logs its cache summary" true
+    (Util.Strutil.contains_sub ~sub:"cache " warm_err);
+  (* scribble over every artifact: the next run must detect, recompute,
+     and still match — the PR-8 policy test, for cache damage *)
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let s = read_file path in
+      write_file path (String.sub s 0 (min 24 (String.length s))))
+    (artifact_files dir);
+  let rc3, corrupt_out, corrupt_err = run_capture cached in
+  Alcotest.(check int) "corrupted-store run exits 0" 0 rc3;
+  Alcotest.(check string) "corrupted-store stdout == cacheless stdout"
+    oracle_out corrupt_out;
+  Alcotest.(check bool) "corruption is logged" true
+    (Util.Strutil.contains_sub ~sub:"corrupt" corrupt_err)
+
+let test_cli_cache_open_failure () =
+  (* a path under /dev/null can never be created, even running as root *)
+  let rc, _, err =
+    run_capture
+      (Printf.sprintf "%s misra --scale small --seed 7 --cache %s"
+         (Filename.quote adcheck_exe)
+         (Filename.quote "/dev/null/cache"))
+  in
+  Alcotest.(check int) "unopenable cache dir exits 1" 1 rc;
+  Alcotest.(check bool) "error names the cache directory" true
+    (Util.Strutil.contains_sub ~sub:"cannot open cache directory" err)
+
+let test_cli_serve_protocol () =
+  let dir = fresh_dir "cli-serve" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let rc, out, _ =
+    run_capture
+      (Printf.sprintf "printf 'ping\\nstats\\nbogus\\nquit\\n' | %s serve --cache %s"
+         (Filename.quote adcheck_exe) (Filename.quote dir))
+  in
+  Alcotest.(check int) "serve session exits 0" 0 rc;
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+  (match lines with
+   | greeting :: _ ->
+     Alcotest.(check string) "greeting names the protocol"
+       "adcheck-serve/1 ready" greeting
+   | [] -> Alcotest.fail "serve printed nothing");
+  let has prefix =
+    List.exists
+      (fun l ->
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  in
+  Alcotest.(check bool) "ping answered" true (has "pong");
+  Alcotest.(check bool) "stats line carries counters" true (has "stats hits=");
+  Alcotest.(check bool) "unknown command rejected in-band" true (has "err ");
+  Alcotest.(check bool) "quit acknowledged" true (has "bye")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cache-diff"
+    [
+      ( "manifest",
+        [
+          Alcotest.test_case "diff detects edits/adds/removes" `Quick
+            test_manifest_changed;
+          Alcotest.test_case "transitive reverse-dependents" `Quick
+            test_manifest_dependents;
+          Alcotest.test_case "invalidation closure" `Quick
+            test_manifest_invalidated;
+          Alcotest.test_case "persistence round-trip" `Quick
+            test_manifest_persistence;
+          Alcotest.test_case "edges from includes + callgraph" `Quick
+            test_manifest_of_parsed_edges;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip, keys, memo" `Quick test_store_roundtrip;
+          Alcotest.test_case "truncated artifact recovers" `Quick
+            test_corrupt_truncated;
+          Alcotest.test_case "garbage artifact recovers" `Quick
+            test_corrupt_garbage;
+          Alcotest.test_case "foreign salt recovers" `Quick
+            test_corrupt_salt_mismatch;
+          Alcotest.test_case "owner-scoped removal" `Quick test_remove_owned;
+          Alcotest.test_case "version mismatch wipes the store" `Quick
+            test_version_salt_wipe;
+        ] );
+      ( "edits",
+        [
+          Alcotest.test_case "revert every file restores hits" `Quick
+            test_revert_restores_hits;
+          QCheck_alcotest.to_alcotest prop_edit_sequence_converges;
+          QCheck_alcotest.to_alcotest prop_revert_is_warm;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "cold with cache == oracle" `Slow
+            test_audit_cold_with_cache;
+          Alcotest.test_case "warm jobs=1 == oracle, zero misses" `Slow
+            test_audit_warm_jobs1;
+          Alcotest.test_case "warm jobs=2 == oracle" `Slow
+            test_audit_warm_jobs2;
+          Alcotest.test_case "warm jobs=8 == oracle" `Slow
+            test_audit_warm_jobs8;
+          Alcotest.test_case "incremental edit == oracle, exact set" `Slow
+            test_audit_incremental_edit;
+          Alcotest.test_case "corrupted store == oracle" `Slow
+            test_audit_corrupted_store;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "misra cold/warm/corrupt == cacheless" `Slow
+            test_cli_misra_cache_diff;
+          Alcotest.test_case "unopenable cache dir fails fast" `Quick
+            test_cli_cache_open_failure;
+          Alcotest.test_case "serve line protocol" `Slow
+            test_cli_serve_protocol;
+        ] );
+    ]
